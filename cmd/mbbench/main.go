@@ -1,0 +1,74 @@
+// Command mbbench regenerates the paper's tables and figures on the
+// synthetic dataset analogs. Each experiment prints one or more
+// aligned-text tables whose rows mirror the corresponding paper
+// result; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	mbbench -list
+//	mbbench -run fig3,fig6 -scale 0.05
+//	mbbench -run all -scale 0.05
+//	mbbench -run quick -scale 0.02   # skips the heavy experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"macrobase/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "quick", "comma-separated experiment ids, or 'all' / 'quick'")
+		scale = flag.Float64("scale", 0.02, "dataset scale factor relative to the paper's sizes")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			heavy := ""
+			if e.Heavy {
+				heavy = " (heavy)"
+			}
+			fmt.Printf("%-12s %s%s\n", e.ID, e.Name, heavy)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	switch *run {
+	case "all":
+		selected = experiments.All()
+	case "quick":
+		for _, e := range experiments.All() {
+			if !e.Heavy {
+				selected = append(selected, e)
+			}
+		}
+	default:
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("macrobase-go reproduction harness: %d experiment(s), scale %.3f\n\n", len(selected), *scale)
+	for _, e := range selected {
+		fmt.Printf("### %s — %s\n", e.ID, e.Name)
+		start := time.Now()
+		tables := e.Run(*scale)
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

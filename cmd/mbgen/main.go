@@ -1,0 +1,77 @@
+// Command mbgen emits synthetic dataset analogs as CSV for use with
+// mbquery and mbserver (see internal/gen for what each dataset
+// mimics).
+//
+// Usage:
+//
+//	mbgen -dataset CMT -points 100000 -simple > cmt.csv
+//	mbgen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"macrobase/internal/gen"
+	"macrobase/internal/ingest"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "CMT", "dataset analog name (see -list)")
+		points  = flag.Int("points", 100_000, "number of points to generate")
+		simple  = flag.Bool("simple", false, "simple query shape (1 metric, 1 attribute)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("out", "-", "output path ('-' = stdout)")
+		list    = flag.Bool("list", false, "list dataset analogs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range gen.Catalog() {
+			fmt.Printf("%-10s %9d points  %d metrics  %d attributes\n",
+				d.Name, d.Points, len(d.MetricNames), len(d.Attrs))
+		}
+		return
+	}
+	ds, err := gen.DatasetByName(*dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbgen:", err)
+		os.Exit(2)
+	}
+	enc, pts, _ := ds.Generate(gen.GenerateConfig{Points: *points, Simple: *simple, Seed: *seed})
+
+	metrics := ds.MetricNames
+	attrs := ds.Attrs
+	if *simple {
+		metrics = metrics[:1]
+		attrs = attrs[:1]
+	}
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.Name
+	}
+	schema := ingest.Schema{Metrics: metrics, Attributes: names, TimeColumn: "t"}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := ingest.WriteCSV(bw, schema, enc, pts); err != nil {
+		fmt.Fprintln(os.Stderr, "mbgen:", err)
+		os.Exit(1)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "mbgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command mbquery runs a MacroBase query over a CSV file, in one-shot
+// or exponentially weighted streaming mode, and prints the ranked
+// explanations (paper §3.2 operating modes).
+//
+// Usage:
+//
+//	mbquery -config query.json
+//	mbquery -config query.json -top 20
+//
+// The config is the JSON form documented in internal/ingest:
+//
+//	{
+//	  "input": "data.csv",
+//	  "metrics": ["power_drain"],
+//	  "attributes": ["device_id", "app_version"],
+//	  "streaming": false,
+//	  "minSupport": 0.001,
+//	  "minRiskRatio": 3
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"macrobase/internal/core"
+	"macrobase/internal/encode"
+	"macrobase/internal/ingest"
+	"macrobase/internal/pipeline"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "path to JSON query config (required)")
+		top        = flag.Int("top", 50, "maximum explanations to print")
+	)
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "mbquery: -config is required")
+		os.Exit(2)
+	}
+	if err := runQuery(*configPath, *top, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mbquery:", err)
+		os.Exit(1)
+	}
+}
+
+func runQuery(configPath string, top int, w io.Writer) error {
+	cfg, err := ingest.LoadQueryConfig(configPath)
+	if err != nil {
+		return err
+	}
+	var in io.Reader
+	if cfg.Input == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(cfg.Input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	enc := encode.NewEncoder(cfg.Attributes...)
+	src, err := ingest.NewCSVSource(in, cfg.Schema(), enc)
+	if err != nil {
+		return err
+	}
+	pcfg := pipeline.Config{
+		Dims:             len(cfg.Metrics),
+		Percentile:       cfg.Percentile,
+		MinSupport:       cfg.MinSupport,
+		MinRiskRatio:     cfg.MinRiskRatio,
+		DecayRate:        cfg.DecayRate,
+		DecayEveryPoints: cfg.DecayEveryPoints,
+		ReservoirSize:    cfg.ReservoirSize,
+		Confidence:       cfg.Confidence,
+		Seed:             cfg.Seed,
+	}
+
+	var res *pipeline.Result
+	if cfg.Streaming {
+		res, err = pipeline.RunStreaming(src, pcfg)
+	} else {
+		// One-shot: stream the stored data into memory first
+		// (paper §3.2: batch execution streams over stored data).
+		var pts []core.Point
+		for {
+			b, berr := src.Next(8192)
+			if berr == core.ErrEndOfStream {
+				break
+			}
+			if berr != nil {
+				return berr
+			}
+			pts = append(pts, b...)
+		}
+		res, err = pipeline.RunOneShot(pts, pcfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	enc.Decorate(res.Explanations)
+	fmt.Fprintf(w, "points=%d outliers=%d explanations=%d\n",
+		res.Stats.Points, res.Stats.Outliers, len(res.Explanations))
+	for i, e := range res.Explanations {
+		if i >= top {
+			fmt.Fprintf(w, "... %d more\n", len(res.Explanations)-top)
+			break
+		}
+		fmt.Fprintf(w, "%3d. %s\n", i+1, e.String())
+		if e.CI.Level > 0 {
+			fmt.Fprintf(w, "     %.0f%% CI [%.2f, %.2f]\n", e.CI.Level*100, e.CI.Lo, e.CI.Hi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQueryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewPCG(3, 4))
+	var b strings.Builder
+	b.WriteString("latency,host\n")
+	for i := 0; i < 30_000; i++ {
+		host := fmt.Sprintf("h%d", rng.IntN(10))
+		v := 100 + rng.NormFloat64()*10
+		if host == "h3" && rng.Float64() < 0.6 {
+			v = 500 + rng.NormFloat64()*20
+		}
+		fmt.Fprintf(&b, "%.3f,%s\n", v, host)
+	}
+	csvPath := filepath.Join(dir, "lat.csv")
+	if err := os.WriteFile(csvPath, []byte(b.String()), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "q.json")
+	cfg := fmt.Sprintf(`{"input":%q,"metrics":["latency"],"attributes":["host"],"minSupport":0.05,"confidence":0.95}`, csvPath)
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runQuery(cfgPath, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "host=h3") {
+		t.Errorf("slow host not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "CI [") {
+		t.Errorf("confidence interval missing:\n%s", got)
+	}
+
+	// Streaming mode over the same file.
+	scfgPath := filepath.Join(dir, "qs.json")
+	scfg := fmt.Sprintf(`{"input":%q,"metrics":["latency"],"attributes":["host"],"streaming":true,"minSupport":0.05,"decayEveryPoints":10000}`, csvPath)
+	if err := os.WriteFile(scfgPath, []byte(scfg), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runQuery(scfgPath, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "host=h3") {
+		t.Errorf("streaming mode missed slow host:\n%s", out.String())
+	}
+}
+
+func TestRunQueryErrors(t *testing.T) {
+	if err := runQuery("/nonexistent.json", 10, &strings.Builder{}); err == nil {
+		t.Error("missing config accepted")
+	}
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "bad.json")
+	os.WriteFile(cfgPath, []byte(`{"input":"/nope.csv","metrics":["m"],"attributes":["a"]}`), 0o600)
+	if err := runQuery(cfgPath, 10, &strings.Builder{}); err == nil {
+		t.Error("missing input accepted")
+	}
+}

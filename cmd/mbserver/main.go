@@ -1,0 +1,149 @@
+// Command mbserver exposes MacroBase queries over a small REST API —
+// the programmatic presentation mode of paper §3.2 step 5 (e.g. for
+// forwarding explanations to reporting tools).
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness probe
+//	POST /query            body: ingest.QueryConfig JSON; runs the
+//	                       query server-side over the configured CSV
+//	                       and returns ranked, decoded explanations
+//
+// Usage:
+//
+//	mbserver -addr :8080
+//	curl -s localhost:8080/query -d @query.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"time"
+
+	"macrobase/internal/core"
+	"macrobase/internal/encode"
+	"macrobase/internal/ingest"
+	"macrobase/internal/pipeline"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /query", handleQuery)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("mbserver listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// queryResponse is the JSON report returned to programmatic consumers.
+type queryResponse struct {
+	Points       int               `json:"points"`
+	Outliers     int               `json:"outliers"`
+	Explanations []explanationJSON `json:"explanations"`
+}
+
+type explanationJSON struct {
+	Attributes []core.Attribute `json:"attributes"`
+	Support    float64          `json:"support"`
+	RiskRatio  float64          `json:"riskRatio"`
+	Outliers   float64          `json:"outlierCount"`
+	Inliers    float64          `json:"inlierCount"`
+}
+
+func handleQuery(w http.ResponseWriter, r *http.Request) {
+	cfg, err := ingest.ReadQueryConfig(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := os.Open(cfg.Input)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer f.Close()
+	enc := encode.NewEncoder(cfg.Attributes...)
+	src, err := ingest.NewCSVSource(f, cfg.Schema(), enc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pcfg := pipeline.Config{
+		Dims:             len(cfg.Metrics),
+		Percentile:       cfg.Percentile,
+		MinSupport:       cfg.MinSupport,
+		MinRiskRatio:     cfg.MinRiskRatio,
+		DecayRate:        cfg.DecayRate,
+		DecayEveryPoints: cfg.DecayEveryPoints,
+		ReservoirSize:    cfg.ReservoirSize,
+		Confidence:       cfg.Confidence,
+		Seed:             cfg.Seed,
+	}
+	var res *pipeline.Result
+	if cfg.Streaming {
+		res, err = pipeline.RunStreaming(src, pcfg)
+	} else {
+		var pts []core.Point
+		for {
+			b, berr := src.Next(8192)
+			if berr == core.ErrEndOfStream {
+				break
+			}
+			if berr != nil {
+				http.Error(w, berr.Error(), http.StatusBadRequest)
+				return
+			}
+			pts = append(pts, b...)
+		}
+		res, err = pipeline.RunOneShot(pts, pcfg)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	enc.Decorate(res.Explanations)
+	resp := queryResponse{Points: res.Stats.Points, Outliers: res.Stats.Outliers}
+	for _, e := range res.Explanations {
+		resp.Explanations = append(resp.Explanations, explanationJSON{
+			Attributes: e.Attributes,
+			Support:    e.Support,
+			RiskRatio:  jsonSafe(e.RiskRatio),
+			Outliers:   e.OutlierCount,
+			Inliers:    e.InlierCount,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+// jsonSafe maps the +Inf risk ratio of combinations absent from the
+// inliers onto a large finite value; encoding/json rejects Inf/NaN.
+func jsonSafe(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestCSV materializes a small CSV with one anomalous device.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	var b strings.Builder
+	b.WriteString("power,device\n")
+	for i := 0; i < 20_000; i++ {
+		dev := fmt.Sprintf("dev%d", rng.IntN(20))
+		v := 10 + rng.NormFloat64()*2
+		if dev == "dev7" && rng.Float64() < 0.5 {
+			v = 60 + rng.NormFloat64()*2
+		}
+		fmt.Fprintf(&b, "%.4f,%s\n", v, dev)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHandleQueryOneShot(t *testing.T) {
+	csvPath := writeTestCSV(t)
+	body := fmt.Sprintf(`{"input":%q,"metrics":["power"],"attributes":["device"],"minSupport":0.05}`, csvPath)
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	handleQuery(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Points != 20_000 {
+		t.Errorf("points = %d", resp.Points)
+	}
+	found := false
+	for _, e := range resp.Explanations {
+		for _, a := range e.Attributes {
+			if a.Column == "device" && a.Value == "dev7" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("anomalous device not reported: %+v", resp.Explanations)
+	}
+}
+
+func TestHandleQueryStreaming(t *testing.T) {
+	csvPath := writeTestCSV(t)
+	body := fmt.Sprintf(`{"input":%q,"metrics":["power"],"attributes":["device"],"streaming":true,"minSupport":0.05,"decayEveryPoints":5000}`, csvPath)
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	handleQuery(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHandleQueryErrors(t *testing.T) {
+	// Invalid config.
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{}`))
+	rec := httptest.NewRecorder()
+	handleQuery(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid config status = %d", rec.Code)
+	}
+	// Missing input file.
+	req = httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"input":"/nonexistent.csv","metrics":["m"],"attributes":["a"]}`))
+	rec = httptest.NewRecorder()
+	handleQuery(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing file status = %d", rec.Code)
+	}
+}
+
+func TestJSONSafe(t *testing.T) {
+	if jsonSafe(math.Inf(1)) != math.MaxFloat64 {
+		t.Error("inf not mapped")
+	}
+	if jsonSafe(math.NaN()) != 0 {
+		t.Error("nan not mapped")
+	}
+	if jsonSafe(3.5) != 3.5 {
+		t.Error("finite value altered")
+	}
+}

@@ -1,0 +1,12 @@
+// Package macrobase is a from-scratch Go reproduction of MacroBase
+// (Bailis et al., "MacroBase: Prioritizing Attention in Fast Data",
+// SIGMOD 2017): a fast-data analytics engine that classifies points in
+// high-volume streams with robust statistical models and explains the
+// outlying class with attribute combinations ranked by relative risk.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory), the runnable entry points under cmd/ and
+// examples/, and the benchmark suite regenerating every table and
+// figure of the paper's evaluation in bench_test.go plus
+// internal/experiments.
+package macrobase

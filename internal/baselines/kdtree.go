@@ -1,0 +1,151 @@
+// Package baselines implements the comparison systems of the paper's
+// evaluation: a KD-tree kNN outlier detector (the Weka/Elki stand-in
+// of Appendix D) and the four alternative explanation procedures of
+// Table 5 — Apriori itemset mining, data cubing, depth-limited
+// decision trees, and a Data X-Ray-style hierarchical cover.
+package baselines
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// KDTree is a k-d tree over fixed-dimension float64 vectors supporting
+// exact k-nearest-neighbor queries.
+type KDTree struct {
+	pts  [][]float64
+	idx  []int
+	dims int
+	root *kdNode
+}
+
+type kdNode struct {
+	axis        int
+	median      float64
+	point       int // index into pts for leaf storage
+	left, right *kdNode
+	lo, hi      int // range into idx for leaves
+	leaf        bool
+}
+
+const kdLeafSize = 16
+
+// NewKDTree builds a tree over pts (not copied; do not mutate).
+func NewKDTree(pts [][]float64) *KDTree {
+	if len(pts) == 0 {
+		return &KDTree{}
+	}
+	t := &KDTree{pts: pts, dims: len(pts[0]), idx: make([]int, len(pts))}
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	t.root = t.build(0, len(pts), 0)
+	return t
+}
+
+func (t *KDTree) build(lo, hi, depth int) *kdNode {
+	if hi-lo <= kdLeafSize {
+		return &kdNode{leaf: true, lo: lo, hi: hi}
+	}
+	axis := depth % t.dims
+	seg := t.idx[lo:hi]
+	mid := len(seg) / 2
+	// nth_element by axis coordinate.
+	sort.Slice(seg, func(i, j int) bool { return t.pts[seg[i]][axis] < t.pts[seg[j]][axis] })
+	n := &kdNode{axis: axis, median: t.pts[seg[mid]][axis]}
+	n.left = t.build(lo, lo+mid, depth+1)
+	n.right = t.build(lo+mid, hi, depth+1)
+	return n
+}
+
+// maxHeap of candidate neighbor distances.
+type distHeap []float64
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// KNNDistances returns the distances to the k nearest neighbors of q
+// in ascending order (fewer if the tree holds fewer points).
+func (t *KDTree) KNNDistances(q []float64, k int) []float64 {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	h := make(distHeap, 0, k)
+	t.search(t.root, q, k, &h)
+	out := make([]float64, len(h))
+	copy(out, h)
+	sort.Float64s(out)
+	return out
+}
+
+func (t *KDTree) search(n *kdNode, q []float64, k int, h *distHeap) {
+	if n.leaf {
+		for _, pi := range t.idx[n.lo:n.hi] {
+			d := dist2(q, t.pts[pi])
+			if len(*h) < k {
+				heap.Push(h, d)
+			} else if d < (*h)[0] {
+				(*h)[0] = d
+				heap.Fix(h, 0)
+			}
+		}
+		return
+	}
+	diff := q[n.axis] - n.median
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, k, h)
+	if len(*h) < k || diff*diff < (*h)[0] {
+		t.search(far, q, k, h)
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KNNScorer is the kNN-based outlier detector baseline: the score of a
+// point is its mean Euclidean distance to its k nearest training
+// neighbors. It satisfies classify.Scorer.
+type KNNScorer struct {
+	Tree *KDTree
+	K    int
+}
+
+// NewKNNScorer builds a scorer over a training sample.
+func NewKNNScorer(train [][]float64, k int) *KNNScorer {
+	if k <= 0 {
+		k = 5
+	}
+	return &KNNScorer{Tree: NewKDTree(train), K: k}
+}
+
+// Score returns the mean distance to the K nearest neighbors.
+func (s *KNNScorer) Score(m []float64) float64 {
+	ds := s.Tree.KNNDistances(m, s.K)
+	if len(ds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range ds {
+		sum += math.Sqrt(d)
+	}
+	return sum / float64(len(ds))
+}

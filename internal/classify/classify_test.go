@@ -1,0 +1,273 @@
+package classify
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"macrobase/internal/core"
+)
+
+func TestZScoreKnown(t *testing.T) {
+	tr := ZScoreTrainer(0)
+	s, err := tr([][]float64{{2}, {4}, {4}, {4}, {5}, {5}, {7}, {9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := s.(*ZScore)
+	if math.Abs(z.Mean-5) > 1e-12 {
+		t.Errorf("mean = %v", z.Mean)
+	}
+	if got := s.Score([]float64{5}); got != 0 {
+		t.Errorf("score at mean = %v", got)
+	}
+	if s.Score([]float64{9}) <= s.Score([]float64{6}) {
+		t.Error("score not monotone in distance")
+	}
+}
+
+func TestZScoreNotRobust(t *testing.T) {
+	// One wild point inflates the std so the planted outlier looks
+	// ordinary — the failure Figure 3 illustrates.
+	sample := [][]float64{{0}, {1}, {-1}, {0.5}, {-0.5}, {1e6}}
+	s, err := ZScoreTrainer(0)(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Score([]float64{50}); got > 1 {
+		t.Errorf("contaminated z-score of 50 = %v, expected masked (<1)", got)
+	}
+}
+
+func TestMADRobust(t *testing.T) {
+	sample := [][]float64{{0}, {1}, {-1}, {0.5}, {-0.5}, {1e6}}
+	s, err := MADTrainer(0)(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Score([]float64{50}); got < 10 {
+		t.Errorf("MAD score of 50 = %v, expected large despite contamination", got)
+	}
+}
+
+func TestMADZeroScale(t *testing.T) {
+	s, err := MADTrainer(0)([][]float64{{3}, {3}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Score([]float64{3}); got != 0 {
+		t.Errorf("score at median = %v", got)
+	}
+	if got := s.Score([]float64{4}); !math.IsInf(got, 1) {
+		t.Errorf("score off constant sample = %v, want +Inf", got)
+	}
+}
+
+func TestTrainersRejectEmpty(t *testing.T) {
+	for _, tr := range []Trainer{ZScoreTrainer(0), MADTrainer(0), AutoTrainer(1, 1), AutoTrainer(3, 1)} {
+		if _, err := tr(nil); err == nil {
+			t.Error("expected error on empty sample")
+		}
+	}
+}
+
+func genStream(n int, outlierFrac float64, seed uint64) []core.Point {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	pts := make([]core.Point, n)
+	for i := range pts {
+		v := 10 + rng.NormFloat64()*10
+		if rng.Float64() < outlierFrac {
+			v = 200 + rng.NormFloat64()*5
+		}
+		pts[i] = core.Point{Metrics: []float64{v}}
+	}
+	return pts
+}
+
+func TestStreamingClassifierDetectsOutliers(t *testing.T) {
+	s := NewStreaming(StreamingConfig{Dims: 1, Percentile: 0.99, WarmupPoints: 500, RetrainEvery: 5000, Seed: 3}, nil)
+	pts := genStream(50_000, 0.01, 4)
+	var labeled []core.LabeledPoint
+	for i := 0; i < len(pts); i += 1000 {
+		labeled = s.ClassifyBatch(labeled, pts[i:i+1000])
+	}
+	if s.Model() == nil {
+		t.Fatal("model never trained")
+	}
+	if s.Retrains < 2 {
+		t.Errorf("retrains = %d, want >= 2", s.Retrains)
+	}
+	// Points from the outlier distribution (>150) should mostly be
+	// labeled outliers after warmup; inliers mostly not.
+	var outHit, outTot, inHit, inTot int
+	for i := 10_000; i < len(labeled); i++ {
+		lp := &labeled[i]
+		if lp.Metrics[0] > 150 {
+			outTot++
+			if lp.Label == core.Outlier {
+				outHit++
+			}
+		} else {
+			inTot++
+			if lp.Label == core.Outlier {
+				inHit++
+			}
+		}
+	}
+	if recall := float64(outHit) / float64(outTot); recall < 0.9 {
+		t.Errorf("outlier recall = %.3f", recall)
+	}
+	if fpr := float64(inHit) / float64(inTot); fpr > 0.05 {
+		t.Errorf("false positive rate = %.3f", fpr)
+	}
+}
+
+func TestStreamingWarmupLabelsInlier(t *testing.T) {
+	s := NewStreaming(StreamingConfig{Dims: 1, WarmupPoints: 1000, Seed: 5}, nil)
+	pts := genStream(100, 0, 6)
+	labeled := s.ClassifyBatch(nil, pts)
+	for i := range labeled {
+		if labeled[i].Label != core.Inlier {
+			t.Fatal("pre-warmup point labeled outlier")
+		}
+	}
+	if s.Model() != nil {
+		t.Error("model trained before warmup")
+	}
+}
+
+// TestStreamingAdaptsToShift: after the distribution moves, decayed
+// retraining must re-center the model (the Figure 5 behavior).
+func TestStreamingAdaptsToShift(t *testing.T) {
+	s := NewStreaming(StreamingConfig{
+		Dims: 1, Percentile: 0.99, WarmupPoints: 500,
+		RetrainEvery: 2000, DecayRate: 0.5, Seed: 7,
+	}, nil)
+	rng := rand.New(rand.NewPCG(8, 9))
+	feed := func(mu float64, n int) []core.LabeledPoint {
+		pts := make([]core.Point, n)
+		for i := range pts {
+			pts[i] = core.Point{Metrics: []float64{mu + rng.NormFloat64()*10}}
+		}
+		var out []core.LabeledPoint
+		for i := 0; i < n; i += 1000 {
+			out = s.ClassifyBatch(out, pts[i:i+1000])
+			s.Decay()
+		}
+		return out
+	}
+	feed(10, 20_000)
+	// Shift the whole distribution to 400: after adaptation the new
+	// regime must not be flagged wholesale.
+	second := feed(400, 40_000)
+	tail := second[len(second)-5000:]
+	flagged := 0
+	for i := range tail {
+		if tail[i].Label == core.Outlier {
+			flagged++
+		}
+	}
+	if rate := float64(flagged) / float64(len(tail)); rate > 0.1 {
+		t.Errorf("model failed to adapt: %.3f of shifted points still outliers", rate)
+	}
+	m := s.Model().(*MAD)
+	if math.Abs(m.Median-400) > 50 {
+		t.Errorf("median = %v, want near 400", m.Median)
+	}
+}
+
+func TestFitBatch(t *testing.T) {
+	pts := genStream(20_000, 0.01, 10)
+	fitted, scores, err := FitBatch(pts, MADTrainer(0), FitBatchConfig{Percentile: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(pts) {
+		t.Fatalf("scores len = %d", len(scores))
+	}
+	labeled := fitted.ClassifyBatch(nil, pts)
+	outliers := 0
+	for i := range labeled {
+		if labeled[i].Label == core.Outlier {
+			outliers++
+		}
+	}
+	rate := float64(outliers) / float64(len(pts))
+	if rate < 0.005 || rate > 0.02 {
+		t.Errorf("outlier rate = %.4f, want ~0.01", rate)
+	}
+	// Sampled training should land near the full fit.
+	sampled, _, err := FitBatch(pts, MADTrainer(0), FitBatchConfig{Percentile: 0.99, TrainSampleSize: 1000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sampled.Threshold-fitted.Threshold) > fitted.Threshold*0.5 {
+		t.Errorf("sampled threshold %v far from full %v", sampled.Threshold, fitted.Threshold)
+	}
+}
+
+func TestRuleAndHybrid(t *testing.T) {
+	rule := ThresholdRule("power>100", 0, 100)
+	pts := []core.Point{{Metrics: []float64{50}}, {Metrics: []float64{150}}}
+	labeled := rule.ClassifyBatch(nil, pts)
+	if labeled[0].Label != core.Inlier || labeled[1].Label != core.Outlier {
+		t.Fatalf("rule labels wrong: %v", labeled)
+	}
+	if labeled[1].Score != 150 {
+		t.Errorf("rule score = %v", labeled[1].Score)
+	}
+
+	always := &Rule{Name: "never", Outlier: func(*core.Point) bool { return false }}
+	hybrid := NewHybridOr(always, rule)
+	merged := hybrid.ClassifyBatch(nil, pts)
+	if merged[1].Label != core.Outlier {
+		t.Error("hybrid OR missed rule outlier")
+	}
+	if merged[0].Label != core.Inlier {
+		t.Error("hybrid OR fabricated outlier")
+	}
+	if merged[1].Score != 150 {
+		t.Errorf("hybrid score = %v, want max member score", merged[1].Score)
+	}
+	hybrid.Decay() // no decayable members; must not panic
+}
+
+func TestStreamingDriftCorrection(t *testing.T) {
+	// Small retrain interval off: rely on drift detection to fix a
+	// stale threshold when outlier rate explodes.
+	s := NewStreaming(StreamingConfig{
+		Dims: 1, Percentile: 0.99, WarmupPoints: 500,
+		RetrainEvery: 1 << 30, // never retrain on schedule
+		DriftZ:       3, DriftMinPoints: 500, Seed: 13,
+	}, nil)
+	rng := rand.New(rand.NewPCG(14, 15))
+	batch := make([]core.Point, 1000)
+	for round := 0; round < 10; round++ {
+		for i := range batch {
+			batch[i] = core.Point{Metrics: []float64{10 + rng.NormFloat64()*10}}
+		}
+		s.ClassifyBatch(nil, batch)
+	}
+	t0 := s.Threshold()
+	// Shift upward; without retraining, everything becomes "outlier"
+	// until drift correction raises the threshold.
+	var lastBatch []core.LabeledPoint
+	for round := 0; round < 40; round++ {
+		for i := range batch {
+			batch[i] = core.Point{Metrics: []float64{40 + rng.NormFloat64()*10}}
+		}
+		lastBatch = s.ClassifyBatch(nil, batch)
+	}
+	if s.Threshold() <= t0 {
+		t.Errorf("drift correction did not raise threshold: %v -> %v", t0, s.Threshold())
+	}
+	flagged := 0
+	for i := range lastBatch {
+		if lastBatch[i].Label == core.Outlier {
+			flagged++
+		}
+	}
+	if rate := float64(flagged) / float64(len(lastBatch)); rate > 0.2 {
+		t.Errorf("post-drift outlier rate = %.3f", rate)
+	}
+}

@@ -1,0 +1,226 @@
+package classify
+
+import (
+	"math"
+
+	"macrobase/internal/core"
+	"macrobase/internal/sample"
+	"macrobase/internal/stats"
+)
+
+// StreamingConfig parameterizes the streaming MDP classifier. Zero
+// fields take the paper's §6 defaults: reservoirs of 10K, 99th
+// percentile cutoff, retraining every 100K points.
+type StreamingConfig struct {
+	// Dims is the number of metric dimensions (required).
+	Dims int
+	// ReservoirSize is the capacity of the input-sample ADR used for
+	// retraining (default 10_000).
+	ReservoirSize int
+	// ScoreReservoirSize is the capacity of the score ADR used for
+	// percentile estimation (default 10_000; a reservoir of 20K
+	// yields a 1% quantile approximation with 99% probability,
+	// paper §4.2).
+	ScoreReservoirSize int
+	// DecayRate is the exponential decay applied to both reservoirs
+	// on each Decay tick (default 0.01).
+	DecayRate float64
+	// Percentile is the score quantile above which points are
+	// labeled outliers (default 0.99, i.e. target 1% outliers).
+	Percentile float64
+	// RetrainEvery retrains the model and recomputes the threshold
+	// after this many points (default 100_000).
+	RetrainEvery int
+	// WarmupPoints delays the first training until this many points
+	// have been observed (default min(1000, ReservoirSize)).
+	WarmupPoints int
+	// DriftZ, when positive, enables quantile-drift detection: if
+	// the observed outlier rate deviates from the target by more
+	// than DriftZ binomial standard errors, the threshold is
+	// recomputed immediately (paper §4.2 footnote 4). Default 3;
+	// negative disables.
+	DriftZ float64
+	// DriftMinPoints is the minimum observation count before a
+	// drift test is applied (default 2000).
+	DriftMinPoints int
+	// Seed drives reservoir sampling and model fitting.
+	Seed uint64
+}
+
+func (c StreamingConfig) withDefaults() StreamingConfig {
+	if c.ReservoirSize <= 0 {
+		c.ReservoirSize = 10_000
+	}
+	if c.ScoreReservoirSize <= 0 {
+		c.ScoreReservoirSize = 10_000
+	}
+	if c.DecayRate == 0 {
+		c.DecayRate = 0.01
+	}
+	if c.Percentile == 0 {
+		c.Percentile = 0.99
+	}
+	if c.RetrainEvery <= 0 {
+		c.RetrainEvery = 100_000
+	}
+	if c.WarmupPoints <= 0 {
+		c.WarmupPoints = 1000
+		if c.WarmupPoints > c.ReservoirSize {
+			c.WarmupPoints = c.ReservoirSize
+		}
+	}
+	if c.DriftZ == 0 {
+		c.DriftZ = 3
+	}
+	if c.DriftMinPoints <= 0 {
+		c.DriftMinPoints = 2000
+	}
+	return c
+}
+
+// Streaming is MDP's streaming classification operator (paper §4.2,
+// Figure 2): an ADR over the input metrics feeds periodic retraining
+// of a robust scorer, and a second ADR over the produced scores feeds
+// percentile threshold estimation. Decay damps both reservoirs so the
+// model tracks distribution shift.
+type Streaming struct {
+	cfg     StreamingConfig
+	trainer Trainer
+
+	inputRes *sample.ADR[[]float64]
+	scoreRes *sample.ADR[float64]
+
+	model      Scorer
+	threshold  float64
+	sinceTrain int
+
+	// Drift counters since the last threshold computation.
+	driftSeen     int
+	driftOutliers int
+
+	// Retrains counts model fits, exposed for tests and diagnostics.
+	Retrains int
+}
+
+// NewStreaming returns a streaming classifier that fits models with
+// trainer. A nil trainer selects AutoTrainer (MAD for one metric,
+// MCD otherwise).
+func NewStreaming(cfg StreamingConfig, trainer Trainer) *Streaming {
+	cfg = cfg.withDefaults()
+	if trainer == nil {
+		trainer = AutoTrainer(cfg.Dims, cfg.Seed)
+	}
+	return &Streaming{
+		cfg:      cfg,
+		trainer:  trainer,
+		inputRes: sample.NewADR[[]float64](cfg.ReservoirSize, cfg.DecayRate, sample.NewRNG(cfg.Seed+1)),
+		scoreRes: sample.NewADR[float64](cfg.ScoreReservoirSize, cfg.DecayRate, sample.NewRNG(cfg.Seed+2)),
+		model:    nil,
+	}
+}
+
+// Model returns the current scorer (nil during warmup).
+func (s *Streaming) Model() Scorer { return s.model }
+
+// Threshold returns the current outlier score cutoff.
+func (s *Streaming) Threshold() float64 { return s.threshold }
+
+// ClassifyBatch implements core.Classifier. Points arriving before the
+// first model is trained are labeled inliers with score 0.
+func (s *Streaming) ClassifyBatch(dst []core.LabeledPoint, batch []core.Point) []core.LabeledPoint {
+	for i := range batch {
+		p := &batch[i]
+		m := p.Metrics
+		s.inputRes.ObserveLazy(func() []float64 {
+			cp := make([]float64, len(m))
+			copy(cp, m)
+			return cp
+		}, 1)
+		s.sinceTrain++
+
+		if s.model == nil {
+			if s.inputRes.Len() >= s.cfg.WarmupPoints {
+				s.retrain()
+			}
+			if s.model == nil {
+				dst = append(dst, core.LabeledPoint{Point: *p, Score: 0, Label: core.Inlier})
+				continue
+			}
+		} else if s.sinceTrain >= s.cfg.RetrainEvery {
+			s.retrain()
+		}
+
+		score := s.model.Score(m)
+		s.scoreRes.Observe(score)
+		label := core.Inlier
+		if score > s.threshold {
+			label = core.Outlier
+			s.driftOutliers++
+		}
+		s.driftSeen++
+		dst = append(dst, core.LabeledPoint{Point: *p, Score: score, Label: label})
+		s.maybeDriftCorrect()
+	}
+	return dst
+}
+
+// retrain fits a fresh model on the input reservoir and recomputes the
+// score threshold. Training failures (e.g. degenerate samples) keep
+// the previous model.
+func (s *Streaming) retrain() {
+	s.sinceTrain = 0
+	model, err := s.trainer(s.inputRes.Items())
+	if err != nil {
+		return
+	}
+	s.model = model
+	s.Retrains++
+	// Rescore the training sample to seed the threshold when the
+	// score reservoir is empty or stale after a model change.
+	if s.scoreRes.Len() < s.cfg.WarmupPoints/2 {
+		for _, v := range s.inputRes.Items() {
+			s.scoreRes.Observe(model.Score(v))
+		}
+	}
+	s.recomputeThreshold()
+}
+
+// recomputeThreshold re-estimates the percentile cutoff from the score
+// reservoir and resets the drift counters.
+func (s *Streaming) recomputeThreshold() {
+	items := s.scoreRes.Items()
+	if len(items) == 0 {
+		s.threshold = math.Inf(1)
+		return
+	}
+	cp := make([]float64, len(items))
+	copy(cp, items)
+	s.threshold = stats.Quantile(cp, s.cfg.Percentile)
+	s.driftSeen, s.driftOutliers = 0, 0
+}
+
+// maybeDriftCorrect applies the binomial proportion test of paper
+// footnote 4: a sustained deviation of the observed outlier rate from
+// the target percentile triggers an immediate threshold refresh.
+func (s *Streaming) maybeDriftCorrect() {
+	if s.cfg.DriftZ <= 0 || s.driftSeen < s.cfg.DriftMinPoints {
+		return
+	}
+	q := 1 - s.cfg.Percentile
+	n := float64(s.driftSeen)
+	rate := float64(s.driftOutliers) / n
+	se := math.Sqrt(q * (1 - q) / n)
+	if math.Abs(rate-q) > s.cfg.DriftZ*se {
+		s.recomputeThreshold()
+	}
+}
+
+// Decay implements core.Decayable: both reservoirs are damped so that
+// retraining and thresholding favor recent points (paper Figure 2).
+func (s *Streaming) Decay() {
+	s.inputRes.Decay()
+	s.scoreRes.Decay()
+}
+
+var _ core.Classifier = (*Streaming)(nil)
+var _ core.Decayable = (*Streaming)(nil)

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DecayPolicy controls when the Runner damps adaptive operators in
+// streaming mode. Exactly one of EveryPoints or EverySeconds should be
+// set; the paper's default configuration is "a decay rate of 0.01
+// every 100K points" (§6), i.e. EveryPoints=100_000 with the rate held
+// by each operator.
+type DecayPolicy struct {
+	// EveryPoints triggers a decay tick each time this many points
+	// have been ingested. Zero disables tuple-based decay.
+	EveryPoints int
+	// EverySeconds triggers a decay tick whenever event time
+	// advances by this many seconds (batch-based real-time decay,
+	// paper §4.2). Zero disables time-based decay.
+	EverySeconds float64
+}
+
+// RunStats summarizes one pipeline execution.
+type RunStats struct {
+	// Points is the number of points ingested from the source.
+	Points int
+	// OutPoints is the number of points that reached the classifier
+	// (after transformation).
+	OutPoints int
+	// Outliers is the number of points labeled Outlier.
+	Outliers int
+	// DecayTicks counts how many decay rounds were applied.
+	DecayTicks int
+}
+
+// Runner executes a MacroBase pipeline: it pulls batches from the
+// source, pushes them through the transformers, classifier, and
+// explainer, and schedules decay ticks. It is the Go analog of the
+// paper's single-core dataflow runtime (Appendix C), amortizing
+// per-operator overhead across batches of points.
+//
+// The zero value is not usable; populate at least Source. Classifier
+// and Explainer are optional so the same runner can drive
+// transform-only or classify-only pipelines.
+type Runner struct {
+	Source     Source
+	Transforms []Transformer
+	Classifier Classifier
+	Explainer  Explainer
+	BatchSize  int // points per consume call; default 4096
+	Decay      DecayPolicy
+	// ExtraDecay lists additional components to damp on each tick
+	// beyond the classifier and explainer (e.g. standalone samplers
+	// under test).
+	ExtraDecay []Decayable
+	// OnBatch, if non-nil, observes each labeled batch after
+	// classification; used by experiments to trace scores.
+	OnBatch func(batch []LabeledPoint)
+	// Stop, if non-nil, is polled between batches; returning true
+	// halts execution with ErrStopped.
+	Stop func(stats RunStats) bool
+
+	stats     RunStats
+	sincePts  int
+	lastTick  float64
+	haveTick  bool
+	labelBuf  []LabeledPoint
+	xformBufs [][]Point
+}
+
+// Stats returns statistics for the most recent Run.
+func (r *Runner) Stats() RunStats { return r.stats }
+
+// Run drives the pipeline until the source is exhausted (one-shot
+// execution) or Stop requests a halt. In streaming deployments the
+// source is simply unbounded; the execution loop is identical
+// (paper §3.2: "all operators operate over streams").
+func (r *Runner) Run() (RunStats, error) {
+	if r.Source == nil {
+		return RunStats{}, errors.New("core: Runner requires a Source")
+	}
+	batch := r.BatchSize
+	if batch <= 0 {
+		batch = 4096
+	}
+	r.stats = RunStats{}
+	r.sincePts = 0
+	r.haveTick = false
+	if cap(r.xformBufs) < len(r.Transforms) {
+		r.xformBufs = make([][]Point, len(r.Transforms))
+	}
+	for {
+		if r.Stop != nil && r.Stop(r.stats) {
+			return r.stats, ErrStopped
+		}
+		pts, err := r.Source.Next(batch)
+		if err == ErrEndOfStream {
+			r.flush()
+			return r.stats, nil
+		}
+		if err != nil {
+			return r.stats, fmt.Errorf("core: source: %w", err)
+		}
+		r.stats.Points += len(pts)
+		r.process(pts)
+		r.maybeDecay(pts)
+	}
+}
+
+// process pushes one ingested batch through transform/classify/explain.
+func (r *Runner) process(pts []Point) {
+	for i, t := range r.Transforms {
+		r.xformBufs[i] = t.Transform(r.xformBufs[i][:0], pts)
+		pts = r.xformBufs[i]
+	}
+	r.dispatch(pts)
+}
+
+// flush drains buffering transformers after end of stream, continuing
+// each residue through the remaining pipeline stages.
+func (r *Runner) flush() {
+	for i, t := range r.Transforms {
+		ft, ok := t.(FlushingTransformer)
+		if !ok {
+			continue
+		}
+		pts := ft.Flush(nil)
+		for j := i + 1; j < len(r.Transforms); j++ {
+			r.xformBufs[j] = r.Transforms[j].Transform(r.xformBufs[j][:0], pts)
+			pts = r.xformBufs[j]
+		}
+		r.dispatch(pts)
+	}
+}
+
+// dispatch classifies and explains one transformed batch.
+func (r *Runner) dispatch(pts []Point) {
+	if len(pts) == 0 {
+		return
+	}
+	r.stats.OutPoints += len(pts)
+	if r.Classifier == nil {
+		return
+	}
+	r.labelBuf = r.Classifier.ClassifyBatch(r.labelBuf[:0], pts)
+	for i := range r.labelBuf {
+		if r.labelBuf[i].Label == Outlier {
+			r.stats.Outliers++
+		}
+	}
+	if r.OnBatch != nil {
+		r.OnBatch(r.labelBuf)
+	}
+	if r.Explainer != nil {
+		r.Explainer.Consume(r.labelBuf)
+	}
+}
+
+// maybeDecay applies the decay policy after ingesting pts.
+func (r *Runner) maybeDecay(pts []Point) {
+	p := r.Decay
+	if p.EveryPoints > 0 {
+		r.sincePts += len(pts)
+		for r.sincePts >= p.EveryPoints {
+			r.sincePts -= p.EveryPoints
+			r.tick()
+		}
+	}
+	if p.EverySeconds > 0 && len(pts) > 0 {
+		now := pts[len(pts)-1].Time
+		if !r.haveTick {
+			r.lastTick = now
+			r.haveTick = true
+			return
+		}
+		for now-r.lastTick >= p.EverySeconds {
+			r.lastTick += p.EverySeconds
+			r.tick()
+		}
+	}
+}
+
+// tick damps every decayable component once.
+func (r *Runner) tick() {
+	r.stats.DecayTicks++
+	if d, ok := r.Classifier.(Decayable); ok {
+		d.Decay()
+	}
+	if d, ok := r.Explainer.(Decayable); ok {
+		d.Decay()
+	}
+	for _, d := range r.ExtraDecay {
+		d.Decay()
+	}
+}

@@ -1,0 +1,301 @@
+// Package cps implements the streaming prefix trees behind MacroBase's
+// streaming explanation: the M-CPS-tree (paper §5.3, Appendix B) — a
+// frequency-descending prefix tree restricted to the currently
+// AMC-frequent items, decayed and restructured at window boundaries —
+// and the original CPS-tree (Tanbeer et al.) baseline, which stores a
+// node for every item ever observed and which Appendix D measures to
+// be on average 130x slower.
+package cps
+
+import (
+	"sort"
+
+	"macrobase/internal/fptree"
+)
+
+// Tree is a decayed, restructurable prefix tree of attribute
+// transactions. With trackAll=false it behaves as the M-CPS-tree:
+// inserts are restricted to the allowed (frequent) item set installed
+// by the last Restructure. With trackAll=true it is the CPS-tree
+// baseline: every item is inserted and none are pruned.
+type Tree struct {
+	trackAll bool
+	root     *node
+	headers  map[int32]*header
+	order    []int32
+	rank     map[int32]int
+	// allowed is the frequent-item filter for M-CPS inserts; nil
+	// accepts everything (always nil for CPS, and for M-CPS before
+	// the first window boundary).
+	allowed map[int32]bool
+	scratch []int32
+}
+
+type node struct {
+	item     int32
+	count    float64
+	parent   *node
+	children map[int32]*node
+	next     *node
+}
+
+type header struct {
+	count float64
+	head  *node
+	tail  *node
+}
+
+// NewMCPS returns an M-CPS-tree.
+func NewMCPS() *Tree { return newTree(false) }
+
+// NewCPS returns a CPS-tree baseline.
+func NewCPS() *Tree { return newTree(true) }
+
+func newTree(trackAll bool) *Tree {
+	return &Tree{
+		trackAll: trackAll,
+		root:     &node{children: make(map[int32]*node)},
+		headers:  make(map[int32]*header),
+		rank:     make(map[int32]int),
+	}
+}
+
+// Insert adds one transaction of distinct attribute ids with weight w.
+// Items outside the allowed set are dropped (M-CPS); unseen items are
+// appended to the current order (they sort last until the next
+// restructure).
+func (t *Tree) Insert(attrs []int32, w float64) {
+	items := t.scratch[:0]
+	for _, it := range attrs {
+		if t.allowed != nil && !t.allowed[it] {
+			continue
+		}
+		items = append(items, it)
+	}
+	if len(items) == 0 {
+		t.scratch = items
+		return
+	}
+	for _, it := range items {
+		if _, ok := t.rank[it]; !ok {
+			t.rank[it] = len(t.order)
+			t.order = append(t.order, it)
+			t.headers[it] = &header{}
+		}
+	}
+	rank := t.rank
+	sort.Slice(items, func(i, j int) bool { return rank[items[i]] < rank[items[j]] })
+	t.scratch = items
+	cur := t.root
+	for _, it := range items {
+		child, ok := cur.children[it]
+		if !ok {
+			child = &node{item: it, parent: cur, children: make(map[int32]*node)}
+			cur.children[it] = child
+			h := t.headers[it]
+			if h.tail == nil {
+				h.head, h.tail = child, child
+			} else {
+				h.tail.next = child
+				h.tail = child
+			}
+		}
+		child.count += w
+		cur = child
+	}
+	for _, it := range items {
+		t.headers[it].count += w
+	}
+}
+
+// ItemCount returns the decayed weight of transactions containing
+// item.
+func (t *Tree) ItemCount(item int32) float64 {
+	h, ok := t.headers[item]
+	if !ok {
+		return 0
+	}
+	return h.count
+}
+
+// NumItems reports how many distinct items the tree currently stores.
+func (t *Tree) NumItems() int { return len(t.headers) }
+
+// NumNodes reports the number of tree nodes (excluding the root).
+func (t *Tree) NumNodes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		c := 0
+		for _, ch := range n.children {
+			c += 1 + walk(ch)
+		}
+		return c
+	}
+	return walk(t.root)
+}
+
+// weightedPaths extracts the tree's transactions as (path, weight)
+// pairs using terminal counts: a node whose count exceeds the sum of
+// its children's counts terminates that many transactions.
+func (t *Tree) weightedPaths() (paths [][]int32, weights []float64) {
+	const eps = 1e-12
+	var stack []int32
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.item >= 0 || n.parent != nil {
+			stack = append(stack, n.item)
+		}
+		childSum := 0.0
+		for _, ch := range n.children {
+			childSum += ch.count
+		}
+		if n.parent != nil {
+			if term := n.count - childSum; term > eps {
+				p := make([]int32, len(stack))
+				copy(p, stack)
+				paths = append(paths, p)
+				weights = append(weights, term)
+			}
+		}
+		for _, ch := range n.children {
+			walk(ch)
+		}
+		if n.parent != nil {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, ch := range t.root.children {
+		walk(ch)
+	}
+	return paths, weights
+}
+
+// Restructure performs the window-boundary maintenance of the
+// M-CPS-tree (paper Appendix B): decay every count by retain, drop
+// items no longer frequent, and re-sort the tree into the new
+// frequency-descending order. frequent maps the next window's allowed
+// items to their (sketch) counts, which define the new order; a nil
+// map keeps every currently stored item (the CPS-tree baseline, which
+// re-sorts by its own decayed counts and prunes nothing).
+func (t *Tree) Restructure(frequent map[int32]float64, retain float64) {
+	// Decay in place first so extracted path weights are decayed.
+	t.decay(retain)
+	paths, weights := t.weightedPaths()
+
+	var orderCounts map[int32]float64
+	if frequent != nil {
+		orderCounts = frequent
+	} else {
+		orderCounts = make(map[int32]float64, len(t.headers))
+		for it, h := range t.headers {
+			orderCounts[it] = h.count
+		}
+	}
+
+	// Reset structure.
+	t.root = &node{children: make(map[int32]*node)}
+	t.headers = make(map[int32]*header, len(orderCounts))
+	t.order = t.order[:0]
+	t.rank = make(map[int32]int, len(orderCounts))
+	for it := range orderCounts {
+		t.order = append(t.order, it)
+		t.headers[it] = &header{}
+	}
+	sort.Slice(t.order, func(i, j int) bool {
+		a, b := t.order[i], t.order[j]
+		ca, cb := orderCounts[a], orderCounts[b]
+		if ca != cb {
+			return ca > cb
+		}
+		return a < b
+	})
+	for i, it := range t.order {
+		t.rank[it] = i
+	}
+	if frequent != nil && !t.trackAll {
+		t.allowed = make(map[int32]bool, len(frequent))
+		for it := range frequent {
+			t.allowed[it] = true
+		}
+	} else {
+		t.allowed = nil
+	}
+
+	// Re-insert extracted transactions under the new order; items
+	// outside the new set are dropped by Insert's filter. The
+	// temporary allowed set also filters CPS rebuilds correctly
+	// because it contains every stored item.
+	restrict := t.allowed
+	for i, p := range paths {
+		if restrict != nil {
+			t.insertFiltered(p, weights[i], restrict)
+		} else {
+			t.Insert(p, weights[i])
+		}
+	}
+}
+
+// insertFiltered is Insert with an explicit allowed set (used during
+// rebuild so dropped items vanish).
+func (t *Tree) insertFiltered(attrs []int32, w float64, allowed map[int32]bool) {
+	saved := t.allowed
+	t.allowed = allowed
+	t.Insert(attrs, w)
+	t.allowed = saved
+}
+
+// decay multiplies every node and header count by retain.
+func (t *Tree) decay(retain float64) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		n.count *= retain
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	for _, ch := range t.root.children {
+		walk(ch)
+	}
+	for _, h := range t.headers {
+		h.count *= retain
+	}
+}
+
+// Mine replays the tree's weighted paths through an FP-tree and runs
+// FPGrowth, returning itemsets with decayed count >= minCount.
+func (t *Tree) Mine(minCount float64, maxItems int) []fptree.Itemset {
+	paths, weights := t.weightedPaths()
+	return fptree.Build(paths, weights, minCount).Mine(minCount, maxItems)
+}
+
+// ItemsetSupport returns the decayed weight of transactions containing
+// every item in items, walking the node-links of the deepest-ranked
+// member (same traversal as fptree.Tree.ItemsetSupport).
+func (t *Tree) ItemsetSupport(items []int32) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	q := make([]int32, len(items))
+	copy(q, items)
+	for _, it := range q {
+		if _, ok := t.rank[it]; !ok {
+			return 0
+		}
+	}
+	rank := t.rank
+	sort.Slice(q, func(i, j int) bool { return rank[q[i]] > rank[q[j]] })
+	h := t.headers[q[0]]
+	total := 0.0
+	for n := h.head; n != nil; n = n.next {
+		need := 1
+		for p := n.parent; p != nil && p.parent != nil && need < len(q); p = p.parent {
+			if p.item == q[need] {
+				need++
+			}
+		}
+		if need == len(q) {
+			total += n.count
+		}
+	}
+	return total
+}

@@ -1,0 +1,224 @@
+package cps
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+
+	"macrobase/internal/fptree"
+)
+
+func key(items []int32) string {
+	cp := append([]int32(nil), items...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return fmt.Sprint(cp)
+}
+
+func randomTxs(rng *rand.Rand, nTx, universe, maxLen int) [][]int32 {
+	txs := make([][]int32, nTx)
+	for i := range txs {
+		seen := map[int32]bool{}
+		for j := 0; j < 1+rng.IntN(maxLen); j++ {
+			seen[int32(rng.IntN(universe))] = true
+		}
+		for it := range seen {
+			txs[i] = append(txs[i], it)
+		}
+	}
+	return txs
+}
+
+// TestMCPSMatchesFPTreeWithoutDecay: with no restructuring or decay,
+// the M-CPS-tree must mine exactly the same itemsets as a batch
+// FP-tree over the same transactions.
+func TestMCPSMatchesFPTreeWithoutDecay(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 40; trial++ {
+		txs := randomTxs(rng, 3+rng.IntN(25), 7, 5)
+		minCount := float64(1 + rng.IntN(3))
+		tree := NewMCPS()
+		for _, tx := range txs {
+			tree.Insert(tx, 1)
+		}
+		got := map[string]float64{}
+		for _, is := range tree.Mine(minCount, 0) {
+			got[key(is.Items)] = is.Count
+		}
+		want := map[string]float64{}
+		for _, is := range fptree.Build(txs, nil, minCount).Mine(minCount, 0) {
+			want[key(is.Items)] = is.Count
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: MCPS %v != FP %v (txs %v)", trial, got, want, txs)
+		}
+	}
+}
+
+// TestRestructurePreservesCounts: restructuring with retain=1 and the
+// full item set must not change mined results.
+func TestRestructurePreservesCounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	txs := randomTxs(rng, 30, 6, 4)
+	tree := NewMCPS()
+	counts := map[int32]float64{}
+	for _, tx := range txs {
+		tree.Insert(tx, 1)
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	before := map[string]float64{}
+	for _, is := range tree.Mine(1, 0) {
+		before[key(is.Items)] = is.Count
+	}
+	tree.Restructure(counts, 1)
+	after := map[string]float64{}
+	for _, is := range tree.Mine(1, 0) {
+		after[key(is.Items)] = is.Count
+	}
+	for k, v := range before {
+		if math.Abs(after[k]-v) > 1e-9 {
+			t.Fatalf("itemset %s: before %v after %v", k, v, after[k])
+		}
+	}
+	if len(after) != len(before) {
+		t.Fatalf("itemset count changed: %d -> %d", len(before), len(after))
+	}
+}
+
+func TestRestructureDecaysAndPrunes(t *testing.T) {
+	tree := NewMCPS()
+	for i := 0; i < 10; i++ {
+		tree.Insert([]int32{1, 2}, 1)
+	}
+	for i := 0; i < 4; i++ {
+		tree.Insert([]int32{3}, 1)
+	}
+	if got := tree.ItemCount(1); got != 10 {
+		t.Fatalf("ItemCount(1) = %v", got)
+	}
+	// Keep only items 1 and 2; halve counts.
+	tree.Restructure(map[int32]float64{1: 5, 2: 5}, 0.5)
+	if got := tree.ItemCount(1); math.Abs(got-5) > 1e-9 {
+		t.Errorf("decayed ItemCount(1) = %v, want 5", got)
+	}
+	if got := tree.ItemCount(3); got != 0 {
+		t.Errorf("pruned ItemCount(3) = %v, want 0", got)
+	}
+	if tree.NumItems() != 2 {
+		t.Errorf("NumItems = %d, want 2", tree.NumItems())
+	}
+	// Item 3 is now rejected on insert (M-CPS allowed-set behavior).
+	tree.Insert([]int32{3}, 1)
+	if got := tree.ItemCount(3); got != 0 {
+		t.Errorf("M-CPS admitted pruned item: %v", got)
+	}
+	// Items 1,2 still accepted.
+	tree.Insert([]int32{1, 2}, 1)
+	if got := tree.ItemCount(1); math.Abs(got-6) > 1e-9 {
+		t.Errorf("ItemCount(1) = %v, want 6", got)
+	}
+}
+
+func TestCPSKeepsEverything(t *testing.T) {
+	tree := NewCPS()
+	tree.Insert([]int32{1, 2}, 1)
+	tree.Insert([]int32{3}, 1)
+	// CPS restructure: nil frequent set = keep all, reorder by own
+	// counts.
+	tree.Restructure(nil, 1)
+	if tree.NumItems() != 3 {
+		t.Errorf("CPS NumItems = %d, want 3", tree.NumItems())
+	}
+	tree.Insert([]int32{4}, 1) // new items always admitted
+	if got := tree.ItemCount(4); got != 1 {
+		t.Errorf("CPS rejected new item: %v", got)
+	}
+}
+
+// TestRestructureReordersCorrectly: after restructure, mining must
+// still be exact even though insertion order and tree order differ.
+func TestRestructureMidStreamStaysExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	txsA := randomTxs(rng, 20, 6, 4)
+	txsB := randomTxs(rng, 20, 6, 4)
+	tree := NewMCPS()
+	counts := map[int32]float64{}
+	for _, tx := range txsA {
+		tree.Insert(tx, 1)
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	// Restructure keeping all items, no decay, then continue.
+	tree.Restructure(counts, 1)
+	for _, tx := range txsB {
+		tree.Insert(tx, 1)
+	}
+	all := append(append([][]int32{}, txsA...), txsB...)
+	want := map[string]float64{}
+	for _, is := range fptree.Build(all, nil, 1).Mine(1, 0) {
+		want[key(is.Items)] = is.Count
+	}
+	got := map[string]float64{}
+	for _, is := range tree.Mine(1, 0) {
+		got[key(is.Items)] = is.Count
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Fatalf("itemset %s: got %v want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestItemsetSupportMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	txs := randomTxs(rng, 40, 8, 5)
+	tree := NewMCPS()
+	for _, tx := range txs {
+		tree.Insert(tx, 1)
+	}
+	for q := 0; q < 30; q++ {
+		qn := 1 + rng.IntN(3)
+		qs := map[int32]bool{}
+		for len(qs) < qn {
+			qs[int32(rng.IntN(8))] = true
+		}
+		var query []int32
+		for it := range qs {
+			query = append(query, it)
+		}
+		want := 0.0
+		for _, tx := range txs {
+			has := map[int32]bool{}
+			for _, it := range tx {
+				has[it] = true
+			}
+			all := true
+			for _, it := range query {
+				if !has[it] {
+					all = false
+				}
+			}
+			if all {
+				want++
+			}
+		}
+		if got := tree.ItemsetSupport(query); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("support(%v) = %v, want %v", query, got, want)
+		}
+	}
+}
+
+func TestNumNodesSharing(t *testing.T) {
+	tree := NewMCPS()
+	tree.Insert([]int32{1, 2}, 1)
+	tree.Insert([]int32{1, 2}, 1)
+	tree.Insert([]int32{1, 3}, 1)
+	if got := tree.NumNodes(); got != 3 {
+		t.Errorf("NumNodes = %d, want 3 (shared prefix)", got)
+	}
+}

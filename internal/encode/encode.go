@@ -1,0 +1,133 @@
+// Package encode interns categorical attribute values as dense int32
+// identifiers. MacroBase encodes attributes at ingest time so that the
+// explanation data structures (AMC sketches, FP-trees, M-CPS-trees)
+// operate on machine integers rather than strings; identifiers are
+// decoded back to (column, value) pairs only at presentation time.
+package encode
+
+import (
+	"sync"
+
+	"macrobase/internal/core"
+)
+
+// Encoder maps (column index, string value) pairs to dense int32 ids
+// and back. It is safe for concurrent use; encoding is lock-guarded
+// (shared-nothing pipelines typically use one Encoder per partition
+// and merge at presentation).
+type Encoder struct {
+	mu      sync.RWMutex
+	byKey   map[key]int32
+	columns []string
+	keys    []key
+}
+
+type key struct {
+	col int
+	val string
+}
+
+// NewEncoder returns an encoder whose column names are used when
+// decoding ids into core.Attribute values. Unknown column indexes
+// decode with a generated name.
+func NewEncoder(columns ...string) *Encoder {
+	return &Encoder{byKey: make(map[key]int32), columns: columns}
+}
+
+// Columns returns the configured column names.
+func (e *Encoder) Columns() []string { return e.columns }
+
+// Encode interns value for the given attribute column and returns its
+// id. Equal (col, value) pairs always receive equal ids.
+func (e *Encoder) Encode(col int, value string) int32 {
+	k := key{col, value}
+	e.mu.RLock()
+	id, ok := e.byKey[k]
+	e.mu.RUnlock()
+	if ok {
+		return id
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if id, ok = e.byKey[k]; ok {
+		return id
+	}
+	id = int32(len(e.keys))
+	e.byKey[k] = id
+	e.keys = append(e.keys, k)
+	return id
+}
+
+// EncodeAll encodes one value per configured column, in order.
+func (e *Encoder) EncodeAll(values ...string) []int32 {
+	ids := make([]int32, len(values))
+	for i, v := range values {
+		ids[i] = e.Encode(i, v)
+	}
+	return ids
+}
+
+// Decode returns the attribute for id. Ids not produced by this
+// encoder yield a zero Attribute.
+func (e *Encoder) Decode(id int32) core.Attribute {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if id < 0 || int(id) >= len(e.keys) {
+		return core.Attribute{}
+	}
+	k := e.keys[id]
+	col := "attr" + itoa(k.col)
+	if k.col >= 0 && k.col < len(e.columns) {
+		col = e.columns[k.col]
+	}
+	return core.Attribute{Column: col, Value: k.val}
+}
+
+// DecodeAll decodes each id in ids.
+func (e *Encoder) DecodeAll(ids []int32) []core.Attribute {
+	out := make([]core.Attribute, len(ids))
+	for i, id := range ids {
+		out[i] = e.Decode(id)
+	}
+	return out
+}
+
+// Decorate fills Explanation.Attributes for each explanation in exps,
+// in place, and returns exps for chaining.
+func (e *Encoder) Decorate(exps []core.Explanation) []core.Explanation {
+	for i := range exps {
+		exps[i].Attributes = e.DecodeAll(exps[i].ItemIDs)
+	}
+	return exps
+}
+
+// Size reports how many distinct attribute values have been interned.
+func (e *Encoder) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.keys)
+}
+
+// itoa avoids importing strconv for a two-line helper used only on
+// unknown columns.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

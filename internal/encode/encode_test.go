@@ -1,0 +1,105 @@
+package encode
+
+import (
+	"sync"
+	"testing"
+
+	"macrobase/internal/core"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := NewEncoder("device", "version")
+	a := e.Encode(0, "B264")
+	b := e.Encode(1, "2.26.3")
+	if a == b {
+		t.Fatal("distinct pairs share an id")
+	}
+	if got := e.Encode(0, "B264"); got != a {
+		t.Fatal("re-encoding changed id")
+	}
+	// Same value in a different column is a different attribute.
+	if got := e.Encode(1, "B264"); got == a {
+		t.Fatal("column not part of identity")
+	}
+	attr := e.Decode(a)
+	if attr.Column != "device" || attr.Value != "B264" {
+		t.Errorf("decoded %+v", attr)
+	}
+	if attr.String() != "device=B264" {
+		t.Errorf("String() = %q", attr.String())
+	}
+	if e.Size() != 3 {
+		t.Errorf("size = %d", e.Size())
+	}
+}
+
+func TestDecodeUnknown(t *testing.T) {
+	e := NewEncoder("c")
+	if got := e.Decode(42); got != (core.Attribute{}) {
+		t.Errorf("unknown id decoded to %+v", got)
+	}
+	if got := e.Decode(-1); got != (core.Attribute{}) {
+		t.Errorf("negative id decoded to %+v", got)
+	}
+}
+
+func TestUnknownColumnName(t *testing.T) {
+	e := NewEncoder() // no column names
+	id := e.Encode(3, "x")
+	if got := e.Decode(id).Column; got != "attr3" {
+		t.Errorf("generated column = %q", got)
+	}
+	id2 := e.Encode(-2, "y")
+	if got := e.Decode(id2).Column; got != "attr-2" {
+		t.Errorf("generated column = %q", got)
+	}
+}
+
+func TestEncodeAllDecodeAll(t *testing.T) {
+	e := NewEncoder("a", "b", "c")
+	ids := e.EncodeAll("x", "y", "z")
+	if len(ids) != 3 {
+		t.Fatal("wrong id count")
+	}
+	attrs := e.DecodeAll(ids)
+	if attrs[2].Column != "c" || attrs[2].Value != "z" {
+		t.Errorf("DecodeAll = %+v", attrs)
+	}
+}
+
+func TestDecorate(t *testing.T) {
+	e := NewEncoder("col")
+	id := e.Encode(0, "v")
+	exps := []core.Explanation{{ItemIDs: []int32{id}}}
+	e.Decorate(exps)
+	if len(exps[0].Attributes) != 1 || exps[0].Attributes[0].Value != "v" {
+		t.Errorf("decorated = %+v", exps[0])
+	}
+}
+
+func TestEncoderConcurrent(t *testing.T) {
+	e := NewEncoder("c")
+	var wg sync.WaitGroup
+	ids := make([][]int32, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]int32, 100)
+			for i := 0; i < 100; i++ {
+				ids[g][i] = e.Encode(0, string(rune('a'+i%26)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := 0; i < 100; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatal("concurrent encoding produced inconsistent ids")
+			}
+		}
+	}
+	if e.Size() != 26 {
+		t.Errorf("size = %d, want 26", e.Size())
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"macrobase/internal/classify"
+	"macrobase/internal/gen"
+	"macrobase/internal/mcd"
+)
+
+// Fig3 reproduces Figure 3 / Appendix A: the discriminative power of
+// Z-score, MAD, and MCD as the outlier proportion grows. Points come
+// from two uniform clusters (radius 50 at the origin and at
+// (1000,1000)); each estimator is trained on the contaminated data and
+// the mean score it assigns to the outlier cluster is reported —
+// robust methods keep scoring outliers highly toward 50%
+// contamination while the Z-score collapses.
+func Fig3(scale float64) []*Table {
+	n := scaled(100_000, scale, 2_000)
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Mean outlier-cluster score under contamination (higher = more discriminative)",
+		Columns: []string{"proportion", "zscore", "mad", "mcd"},
+		Notes:   "paper: MAD/MCD stay high to ~0.5 contamination; Z-score collapses immediately",
+	}
+	for _, prop := range []float64{0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5} {
+		uni, isOut1 := gen.Contamination(n, 1, prop, 31+uint64(prop*100))
+		multi, isOut2 := gen.Contamination(n, 2, prop, 67+uint64(prop*100))
+
+		zt, err := classify.ZScoreTrainer(0)(uni)
+		if err != nil {
+			continue
+		}
+		mt, err := classify.MADTrainer(0)(uni)
+		if err != nil {
+			continue
+		}
+		ct, err := classify.MCDTrainer(mcdCfg(41))(multi)
+		if err != nil {
+			continue
+		}
+		t.AddRow(
+			f2(prop),
+			f2(meanOutlierScore(zt, uni, isOut1)),
+			f2(meanOutlierScore(mt, uni, isOut1)),
+			f2(meanOutlierScore(ct, multi, isOut2)),
+		)
+	}
+	return []*Table{t}
+}
+
+// meanOutlierScore averages the scorer over the true outlier points,
+// capping individual scores to keep the mean finite when the scatter
+// degenerates (MAD of a pure cluster can be tiny).
+func meanOutlierScore(s classify.Scorer, pts [][]float64, isOut []bool) float64 {
+	const cap = 1e4
+	sum, n := 0.0, 0.0
+	for i, p := range pts {
+		if !isOut[i] {
+			continue
+		}
+		v := s.Score(p)
+		if v > cap {
+			v = cap
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// mcdCfg is the reduced-trials FastMCD configuration experiments use:
+// full 500-trial fits are unnecessary for well-separated clusters and
+// dominate harness runtime.
+func mcdCfg(seed uint64) mcd.Config {
+	return mcd.Config{Seed: seed, Trials: 50}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"macrobase/internal/core"
+	"macrobase/internal/gen"
+	"macrobase/internal/pipeline"
+)
+
+// Fig4 reproduces Figure 4: precision/recall (as F1) of MDP's
+// explanations on the synthetic device workload as label noise and
+// measurement noise grow, for three device population sizes. Without
+// noise MDP recovers the misbehaving devices exactly; label noise
+// holds until the 3:1 ratio implied by the risk-ratio threshold of 3
+// (~25%); measurement noise degrades roughly linearly and hits larger
+// populations harder.
+func Fig4(scale float64) []*Table {
+	points := scaled(1_000_000, scale, 20_000)
+	deviceCounts := []int{6400, 12800, 25600}
+	if points < 300_000 {
+		// Keep expected points-per-device meaningful at small scale.
+		deviceCounts = []int{400, 800, 1600}
+	}
+	noiseLevels := []float64{0, 0.10, 0.20, 0.25, 0.30, 0.40, 0.50}
+
+	label := &Table{
+		ID:      "fig4",
+		Title:   "Explanation F1 vs label noise (per device count)",
+		Columns: []string{"noise", "F1@" + itoa(deviceCounts[0]), "F1@" + itoa(deviceCounts[1]), "F1@" + itoa(deviceCounts[2])},
+		Notes:   "paper: near-perfect until ~25% label noise (risk ratio 3 breakpoint), then rapid degradation",
+	}
+	meas := &Table{
+		ID:      "fig4",
+		Title:   "Explanation F1 vs measurement noise (per device count)",
+		Columns: label.Columns,
+		Notes:   "paper: roughly linear degradation; more devices degrade faster",
+	}
+	run := func(labelNoise, measNoise float64, devices int, seed uint64) float64 {
+		d := gen.Devices(gen.DeviceConfig{
+			Points:                points,
+			Devices:               devices,
+			OutlierDeviceFraction: 0.01,
+			LabelNoise:            labelNoise,
+			MeasurementNoise:      measNoise,
+			Seed:                  seed,
+		})
+		// The paper's operating point puts the support threshold
+		// between the per-device noise floor (outliers/devices) and
+		// the per-device signal; its 0.1% assumes 6400+ devices.
+		// Scale the threshold so the same discrimination ratio holds
+		// for scaled-down populations.
+		minSupport := 0.001
+		if devices < 6400 {
+			minSupport = 0.001 * 6400 / float64(devices)
+		}
+		res, err := pipeline.RunOneShot(d.Points, pipeline.Config{
+			Dims:       1,
+			MinSupport: minSupport,
+			Seed:       seed + 1,
+			// The paper's setup classifies by value: readings from
+			// the outlier distribution land above the percentile
+			// cutoff.
+			Percentile: 0.99,
+		})
+		if err != nil {
+			return 0
+		}
+		_, _, f1 := d.ExplanationF1(explainedDevices(res.Explanations))
+		return f1
+	}
+	for _, noise := range noiseLevels {
+		lrow := []string{f2(noise)}
+		mrow := []string{f2(noise)}
+		for di, dc := range deviceCounts {
+			lrow = append(lrow, f3(run(noise, 0, dc, uint64(100+di))))
+			mrow = append(mrow, f3(run(0, noise, dc, uint64(200+di))))
+		}
+		label.Rows = append(label.Rows, lrow)
+		meas.Rows = append(meas.Rows, mrow)
+	}
+	return []*Table{label, meas}
+}
+
+// explainedDevices collects every attribute id surfaced by the
+// explanations.
+func explainedDevices(exps []core.Explanation) map[int32]bool {
+	out := make(map[int32]bool)
+	for i := range exps {
+		for _, id := range exps[i].ItemIDs {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"macrobase/internal/explain"
+	"macrobase/internal/gen"
+	"macrobase/internal/sample"
+	"macrobase/internal/stats"
+)
+
+// Fig5 reproduces the Figure 5 adaptivity experiment: the scripted
+// 400-second stream (distribution shifts plus a 10x arrival-rate noise
+// spike) is consumed by three sampling strategies — a uniform
+// reservoir, a per-tuple exponentially biased reservoir ("Every"), and
+// the ADR decayed once per real-time second. Per 10-second window we
+// report each reservoir's average (Figure 5b), device D0's risk ratio
+// under a MAD model trained on the adaptive reservoirs (Figure 5a),
+// and each adaptive strategy's overall flagged fraction.
+//
+// Expected shape: the adaptive strategies track the t=150 level shift
+// while the uniform reservoir lags for the rest of the run; D0's
+// anomalies at [50,100) and [225,250) produce high risk ratios only
+// under the adaptive strategies; during the t=320 arrival spike the
+// per-tuple reservoir absorbs the burst (average jumps toward 85,
+// flagged fraction spikes afterward), while the ADR's time-based decay
+// keeps both nearly flat.
+func Fig5(scale float64) []*Table {
+	baseRate := scaled(5000, scale, 200)
+	_, pts, d0 := gen.Fig5Stream(gen.Fig5Config{BaseRate: baseRate, Seed: 51})
+
+	const k = 2000
+	uni := sample.NewUniform[float64](k, sample.NewRNG(1))
+	every := sample.NewTupleDecay[float64](k, sample.NewRNG(2))
+	adr := sample.NewADR[float64](k, 0.02, sample.NewRNG(3))
+
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Reservoir averages, D0 risk ratio, and flag rates over the scripted stream",
+		Columns: []string{"t(s)", "avgUniform", "avgEvery", "avgADR", "rrD0_Every", "rrD0_ADR", "flag%_Every", "flag%_ADR", "arrivals/s"},
+		Notes:   "paper: adaptive reservoirs track the t=150 shift (uniform lags); only Every absorbs the t=320 rate spike and false-alarms afterward",
+	}
+
+	// Per-strategy classification state over each 10-second window,
+	// for the two adaptive strategies (index 0 = Every, 1 = ADR).
+	type rrState struct {
+		d0Out, d0In, out, in float64
+	}
+	var states [2]rrState
+	models := [2]*stats.RunningMAD{{}, {}}
+
+	sec := 0
+	arrivals := 0
+	flush := func() {
+		if sec%10 != 0 {
+			return
+		}
+		rr := func(s rrState) float64 {
+			return explain.RiskRatio(s.d0Out, s.d0In, s.d0Out+s.out, s.d0In+s.in)
+		}
+		flagRate := func(s rrState) float64 {
+			tot := s.d0Out + s.d0In + s.out + s.in
+			if tot == 0 {
+				return 0
+			}
+			return (s.d0Out + s.out) / tot * 100
+		}
+		t.AddRow(
+			itoa(sec),
+			f2(stats.Mean(uni.Items())),
+			f2(stats.Mean(every.Items())),
+			f2(stats.Mean(adr.Items())),
+			f2(rr(states[0])),
+			f2(rr(states[1])),
+			f2(flagRate(states[0])),
+			f2(flagRate(states[1])),
+			itoa(arrivals/10),
+		)
+		states = [2]rrState{}
+		arrivals = 0
+	}
+
+	retrain := func() {
+		models[0].Fit(every.Items())
+		models[1].Fit(adr.Items())
+	}
+
+	for i := range pts {
+		p := &pts[i]
+		for p.Time >= float64(sec+1) {
+			retrain()
+			adr.Decay() // time-based decay: once per second
+			sec++
+			flush()
+		}
+		v := p.Metrics[0]
+		arrivals++
+		uni.Observe(v)
+		every.Observe(v) // per-tuple exponential bias
+		adr.Observe(v)
+
+		for si := range models {
+			m := models[si]
+			if !m.Ready() {
+				continue
+			}
+			isOut := m.Score(v) > 3
+			isD0 := p.Attrs[0] == d0
+			s := &states[si]
+			switch {
+			case isD0 && isOut:
+				s.d0Out++
+			case isD0:
+				s.d0In++
+			case isOut:
+				s.out++
+			default:
+				s.in++
+			}
+		}
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,223 @@
+package explain
+
+import (
+	"macrobase/internal/core"
+	"macrobase/internal/cps"
+	"macrobase/internal/sketch"
+)
+
+// StreamingConfig parameterizes the streaming explainer. Zero fields
+// take the paper's §6 defaults (support 0.1%, risk ratio 3, AMC
+// stable size 10K, decay 0.01).
+type StreamingConfig struct {
+	// MinSupport is the minimum (decayed) fraction of outliers a
+	// combination must cover (default 0.001).
+	MinSupport float64
+	// MinRiskRatio is the minimum relative risk (default 3).
+	MinRiskRatio float64
+	// DecayRate is the exponential damping applied on each Decay
+	// tick (default 0.01).
+	DecayRate float64
+	// AMCSize is the stable size of the single-attribute sketches
+	// (default 10_000).
+	AMCSize int
+	// AMCMaintainEvery, when positive, additionally prunes the
+	// sketches every n observations (Figure 6 uses 10K); by default
+	// maintenance runs only at decay boundaries.
+	AMCMaintainEvery int
+	// MaxItems, when positive, bounds combination size.
+	MaxItems int
+	// Confidence, when positive, attaches risk-ratio confidence
+	// intervals.
+	Confidence float64
+	// Bonferroni corrects the confidence level for the number of
+	// combinations tested.
+	Bonferroni bool
+}
+
+func (c StreamingConfig) withDefaults() StreamingConfig {
+	if c.MinSupport == 0 {
+		c.MinSupport = 0.001
+	}
+	if c.MinRiskRatio == 0 {
+		c.MinRiskRatio = 3
+	}
+	if c.DecayRate == 0 {
+		c.DecayRate = 0.01
+	}
+	if c.AMCSize == 0 {
+		c.AMCSize = 10_000
+	}
+	return c
+}
+
+// Streaming is MDP's streaming explanation operator (paper §5.3,
+// Figure 2): per class, an AMC sketch tracks single-attribute counts
+// and an M-CPS-tree tracks attribute combinations. On each decay tick
+// the sketches are damped and pruned and the trees are decayed,
+// pruned to the currently frequent attributes, and re-sorted.
+// Explanations are produced on demand by running FPGrowth over the
+// outlier tree and counting candidates against the inlier structures.
+//
+// The inlier tree deliberately tracks the attributes frequent in the
+// *outliers*: those are the only combinations whose inlier support the
+// risk ratio needs, which keeps the large inlier side cheap (the
+// streaming form of the paper's cardinality-imbalance optimization).
+type Streaming struct {
+	cfg StreamingConfig
+
+	outAttrs *sketch.AMC[int32]
+	inAttrs  *sketch.AMC[int32]
+	outTree  *cps.Tree
+	inTree   *cps.Tree
+
+	totalOut float64
+	totalIn  float64
+}
+
+// NewStreaming returns a streaming explainer.
+func NewStreaming(cfg StreamingConfig) *Streaming {
+	cfg = cfg.withDefaults()
+	s := &Streaming{
+		cfg:      cfg,
+		outAttrs: sketch.NewAMC[int32](cfg.AMCSize, cfg.DecayRate),
+		inAttrs:  sketch.NewAMC[int32](cfg.AMCSize, cfg.DecayRate),
+		outTree:  cps.NewMCPS(),
+		inTree:   cps.NewMCPS(),
+	}
+	if cfg.AMCMaintainEvery > 0 {
+		s.outAttrs.WithMaintenanceEvery(cfg.AMCMaintainEvery)
+		s.inAttrs.WithMaintenanceEvery(cfg.AMCMaintainEvery)
+	}
+	return s
+}
+
+// Consume implements core.Explainer: attributes of each labeled point
+// are inserted into the class's sketch and prefix tree.
+func (s *Streaming) Consume(batch []core.LabeledPoint) {
+	for i := range batch {
+		p := &batch[i]
+		if p.Label == core.Outlier {
+			s.totalOut++
+			for _, a := range p.Attrs {
+				s.outAttrs.Observe(a, 1)
+			}
+			s.outTree.Insert(p.Attrs, 1)
+		} else {
+			s.totalIn++
+			for _, a := range p.Attrs {
+				s.inAttrs.Observe(a, 1)
+			}
+			s.inTree.Insert(p.Attrs, 1)
+		}
+	}
+}
+
+// TotalOutliers returns the decayed outlier mass.
+func (s *Streaming) TotalOutliers() float64 { return s.totalOut }
+
+// TotalInliers returns the decayed inlier mass.
+func (s *Streaming) TotalInliers() float64 { return s.totalIn }
+
+// Decay implements core.Decayable: the window-boundary maintenance of
+// paper §5.3. Counts are damped, attributes below the support
+// threshold are dropped from the trees, and the trees are re-sorted in
+// the new frequency-descending order.
+func (s *Streaming) Decay() {
+	retain := 1 - s.cfg.DecayRate
+	s.totalOut *= retain
+	s.totalIn *= retain
+	s.outAttrs.Decay()
+	s.inAttrs.Decay()
+
+	minOut := s.cfg.MinSupport * s.totalOut
+	freqOut := make(map[int32]float64)
+	s.outAttrs.ForEach(func(item int32, count float64) {
+		if count >= minOut {
+			freqOut[item] = count
+		}
+	})
+	s.outTree.Restructure(freqOut, retain)
+	// The inlier tree tracks outlier-frequent attributes, ordered by
+	// their inlier counts so its paths stay compressed.
+	freqIn := make(map[int32]float64, len(freqOut))
+	for item := range freqOut {
+		c, _ := s.inAttrs.Count(item)
+		freqIn[item] = c
+	}
+	s.inTree.Restructure(freqIn, retain)
+}
+
+// Explanations implements core.Explainer: it materializes the current
+// summary by mining the outlier tree and filtering by support and risk
+// ratio against the inlier structures.
+func (s *Streaming) Explanations() []core.Explanation {
+	if s.totalOut <= 0 {
+		return nil
+	}
+	minCount := s.cfg.MinSupport * s.totalOut
+
+	// Single attributes from the AMC sketches.
+	qualified := make(map[int32]bool)
+	var exps []core.Explanation
+	tested := 0
+	s.outAttrs.ForEach(func(item int32, ao float64) {
+		if ao < minCount {
+			return
+		}
+		tested++
+		ai, _ := s.inAttrs.Count(item)
+		rr := RiskRatio(ao, ai, s.totalOut, s.totalIn)
+		if rr < s.cfg.MinRiskRatio {
+			return
+		}
+		qualified[item] = true
+		exps = append(exps, core.Explanation{
+			ItemIDs:       []int32{item},
+			Support:       ao / s.totalOut,
+			RiskRatio:     rr,
+			OutlierCount:  ao,
+			InlierCount:   ai,
+			TotalOutliers: s.totalOut,
+			TotalInliers:  s.totalIn,
+		})
+	})
+
+	// Combinations from the outlier M-CPS-tree.
+	for _, is := range s.outTree.Mine(minCount, s.cfg.MaxItems) {
+		if len(is.Items) < 2 {
+			continue // singles already covered by the sketch
+		}
+		ok := true
+		for _, it := range is.Items {
+			if !qualified[it] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		tested++
+		ai := s.inTree.ItemsetSupport(is.Items)
+		rr := RiskRatio(is.Count, ai, s.totalOut, s.totalIn)
+		if rr < s.cfg.MinRiskRatio {
+			continue
+		}
+		exps = append(exps, core.Explanation{
+			ItemIDs:       is.Items,
+			Support:       is.Count / s.totalOut,
+			RiskRatio:     rr,
+			OutlierCount:  is.Count,
+			InlierCount:   ai,
+			TotalOutliers: s.totalOut,
+			TotalInliers:  s.totalIn,
+		})
+	}
+	attachCIs(exps, s.cfg.Confidence, s.cfg.Bonferroni, tested)
+	Rank(exps)
+	return exps
+}
+
+var _ core.Explainer = (*Streaming)(nil)
+var _ core.Decayable = (*Streaming)(nil)

@@ -1,0 +1,263 @@
+// Package fptree implements the FP-tree and the FPGrowth
+// frequent-itemset miner (Han et al.), the pattern-mining backbone of
+// MacroBase's explanation stage (paper §5.2). Counts are float64 so
+// the same miner serves both raw batch counts and exponentially
+// decayed streaming counts, and transactions are weighted so the
+// M-CPS-tree can be mined by replaying its prefix paths.
+package fptree
+
+import "sort"
+
+// Itemset is a mined frequent itemset: items sorted ascending by id
+// and the (possibly decayed) number of transactions containing them.
+type Itemset struct {
+	Items []int32
+	Count float64
+}
+
+// Tree is a frequency-descending prefix tree of transactions.
+type Tree struct {
+	root    *node
+	headers map[int32]*header
+	order   []int32       // items, most frequent first
+	rank    map[int32]int // item -> position in order
+	scratch []int32
+}
+
+type node struct {
+	item     int32
+	count    float64
+	parent   *node
+	children map[int32]*node
+	next     *node // header chain
+}
+
+type header struct {
+	count float64
+	head  *node
+	tail  *node
+}
+
+// Build constructs an FP-tree over the weighted transactions,
+// discarding items whose total weight is below minCount. weights may
+// be nil (all transactions count 1). Items within a transaction must
+// be distinct; order is irrelevant.
+func Build(txs [][]int32, weights []float64, minCount float64) *Tree {
+	counts := make(map[int32]float64)
+	for ti, tx := range txs {
+		w := 1.0
+		if weights != nil {
+			w = weights[ti]
+		}
+		for _, it := range tx {
+			counts[it] += w
+		}
+	}
+	t := newTree(counts, minCount)
+	for ti, tx := range txs {
+		w := 1.0
+		if weights != nil {
+			w = weights[ti]
+		}
+		t.Insert(tx, w)
+	}
+	return t
+}
+
+// newTree prepares an empty tree whose item order is the frequency-
+// descending order of counts, restricted to items with count >=
+// minCount.
+func newTree(counts map[int32]float64, minCount float64) *Tree {
+	t := &Tree{
+		root:    &node{children: make(map[int32]*node)},
+		headers: make(map[int32]*header),
+		rank:    make(map[int32]int),
+	}
+	for it, c := range counts {
+		if c >= minCount {
+			t.order = append(t.order, it)
+			t.headers[it] = &header{count: c}
+		}
+	}
+	sort.Slice(t.order, func(i, j int) bool {
+		a, b := t.order[i], t.order[j]
+		ca, cb := counts[a], counts[b]
+		if ca != cb {
+			return ca > cb
+		}
+		return a < b
+	})
+	for i, it := range t.order {
+		t.rank[it] = i
+	}
+	return t
+}
+
+// Insert adds one weighted transaction, keeping only items frequent at
+// build time and sorting them into the tree's canonical order.
+func (t *Tree) Insert(tx []int32, w float64) {
+	items := t.scratch[:0]
+	for _, it := range tx {
+		if _, ok := t.rank[it]; ok {
+			items = append(items, it)
+		}
+	}
+	rank := t.rank
+	sort.Slice(items, func(i, j int) bool { return rank[items[i]] < rank[items[j]] })
+	t.scratch = items
+	cur := t.root
+	for _, it := range items {
+		child, ok := cur.children[it]
+		if !ok {
+			child = &node{item: it, parent: cur, children: make(map[int32]*node)}
+			cur.children[it] = child
+			h := t.headers[it]
+			if h.tail == nil {
+				h.head, h.tail = child, child
+			} else {
+				h.tail.next = child
+				h.tail = child
+			}
+		}
+		child.count += w
+		cur = child
+	}
+}
+
+// ItemCount returns the total weight of item across all transactions
+// inserted so far (0 for items pruned at build time).
+func (t *Tree) ItemCount(item int32) float64 {
+	h, ok := t.headers[item]
+	if !ok {
+		return 0
+	}
+	// Header counts are fixed at build time for Build-constructed
+	// trees; recompute from the chain so incrementally built trees
+	// (conditional trees) report live values.
+	c := 0.0
+	for n := h.head; n != nil; n = n.next {
+		c += n.count
+	}
+	return c
+}
+
+// Items returns the frequent items in frequency-descending order.
+func (t *Tree) Items() []int32 { return t.order }
+
+// Mine runs FPGrowth and returns every itemset with weight >=
+// minCount. maxItems, when positive, bounds the itemset size.
+// The output includes singleton itemsets.
+func (t *Tree) Mine(minCount float64, maxItems int) []Itemset {
+	var out []Itemset
+	var suffix []int32
+	t.mine(minCount, maxItems, suffix, &out)
+	// Canonicalize item order within each set.
+	for i := range out {
+		sort.Slice(out[i].Items, func(a, b int) bool { return out[i].Items[a] < out[i].Items[b] })
+	}
+	return out
+}
+
+// mine recursively grows patterns ending in each item, least frequent
+// first.
+func (t *Tree) mine(minCount float64, maxItems int, suffix []int32, out *[]Itemset) {
+	for i := len(t.order) - 1; i >= 0; i-- {
+		it := t.order[i]
+		total := t.ItemCount(it)
+		if total < minCount {
+			continue
+		}
+		items := make([]int32, 0, len(suffix)+1)
+		items = append(items, it)
+		items = append(items, suffix...)
+		*out = append(*out, Itemset{Items: items, Count: total})
+		if maxItems > 0 && len(items) >= maxItems {
+			continue
+		}
+		cond := t.conditional(it, minCount)
+		if len(cond.order) > 0 {
+			cond.mine(minCount, maxItems, items, out)
+		}
+	}
+}
+
+// conditional builds the conditional FP-tree for item: the prefix
+// paths of every node carrying the item, weighted by that node's
+// count.
+func (t *Tree) conditional(item int32, minCount float64) *Tree {
+	h := t.headers[item]
+	// First pass: conditional item frequencies.
+	counts := make(map[int32]float64)
+	for n := h.head; n != nil; n = n.next {
+		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+			counts[p.item] += n.count
+		}
+	}
+	cond := newTree(counts, minCount)
+	if len(cond.order) == 0 {
+		return cond
+	}
+	// Second pass: insert prefix paths.
+	var path []int32
+	for n := h.head; n != nil; n = n.next {
+		path = path[:0]
+		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+			path = append(path, p.item)
+		}
+		if len(path) > 0 {
+			cond.Insert(path, n.count)
+		}
+	}
+	return cond
+}
+
+// ItemsetSupport returns the total weight of transactions containing
+// every item in items, by walking the node-link chain of the rarest
+// (deepest-ranked) member and matching the remaining items along each
+// prefix path. MacroBase uses this to count outlier-derived candidate
+// combinations over the inliers without mining the inlier tree
+// (paper §5.2, Algorithm 2 step 3).
+func (t *Tree) ItemsetSupport(items []int32) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	// Sort a copy by rank descending: deepest item first, then the
+	// remaining items in the order they appear while walking up.
+	q := make([]int32, len(items))
+	copy(q, items)
+	for _, it := range q {
+		if _, ok := t.rank[it]; !ok {
+			return 0
+		}
+	}
+	rank := t.rank
+	sort.Slice(q, func(i, j int) bool { return rank[q[i]] > rank[q[j]] })
+	h := t.headers[q[0]]
+	total := 0.0
+	for n := h.head; n != nil; n = n.next {
+		need := 1 // q[0] matched at n itself
+		for p := n.parent; p != nil && p.parent != nil && need < len(q); p = p.parent {
+			if p.item == q[need] {
+				need++
+			}
+		}
+		if need == len(q) {
+			total += n.count
+		}
+	}
+	return total
+}
+
+// NumNodes reports the number of tree nodes (excluding the root),
+// used by memory accounting tests.
+func (t *Tree) NumNodes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		c := 0
+		for _, ch := range n.children {
+			c += 1 + walk(ch)
+		}
+		return c
+	}
+	return walk(t.root)
+}

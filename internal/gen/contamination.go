@@ -1,0 +1,38 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Contamination generates the Figure 3 / Appendix A workload: n points
+// drawn from two uniform balls of radius 50, an inlier cluster at the
+// origin and an outlier cluster at (1000, 1000), with the given
+// outlier proportion. dim 1 yields univariate data (for Z-score and
+// MAD); dim 2 yields the bivariate version (for MCD). It returns the
+// points and a parallel slice marking which are outliers.
+func Contamination(n, dim int, proportion float64, seed uint64) (pts [][]float64, isOutlier []bool) {
+	if dim != 1 && dim != 2 {
+		panic("gen: contamination dims must be 1 or 2")
+	}
+	rng := rand.New(rand.NewPCG(seed, seed+0x1234))
+	pts = make([][]float64, n)
+	isOutlier = make([]bool, n)
+	for i := range pts {
+		out := rng.Float64() < proportion
+		isOutlier[i] = out
+		center := 0.0
+		if out {
+			center = 1000
+		}
+		if dim == 1 {
+			pts[i] = []float64{center + (rng.Float64()*2-1)*50}
+			continue
+		}
+		// Uniform in a disk of radius 50.
+		r := 50 * math.Sqrt(rng.Float64())
+		theta := rng.Float64() * 2 * math.Pi
+		pts[i] = []float64{center + r*math.Cos(theta), center + r*math.Sin(theta)}
+	}
+	return pts, isOutlier
+}

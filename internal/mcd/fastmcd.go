@@ -1,0 +1,498 @@
+// Package mcd implements the Minimum Covariance Determinant estimator
+// via the FastMCD algorithm of Rousseeuw & Van Driessen (paper §4.1,
+// Appendix A): it locates the h-subset of points whose covariance
+// matrix has minimal determinant and scores points by Mahalanobis
+// distance to that robust location/scatter.
+package mcd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"macrobase/internal/stats"
+)
+
+// Config controls a FastMCD fit. The zero value selects the standard
+// defaults from the original paper.
+type Config struct {
+	// SupportFraction is h/n, the fraction of points the estimator
+	// must cover; 0 selects the breakdown-optimal default
+	// h = floor((n+p+1)/2).
+	SupportFraction float64
+	// Trials is the number of random initial (p+1)-subsets
+	// (default 500).
+	Trials int
+	// TopKeep is how many candidate solutions survive each
+	// refinement round (default 10).
+	TopKeep int
+	// MaxCSteps bounds the concentration iterations during final
+	// convergence (default 100).
+	MaxCSteps int
+	// SmallN is the size at which the nested-extraction strategy
+	// replaces direct trials (default 600, as in FastMCD).
+	SmallN int
+	// Seed drives subset selection; fits are deterministic given a
+	// seed.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 500
+	}
+	if c.TopKeep <= 0 {
+		c.TopKeep = 10
+	}
+	if c.MaxCSteps <= 0 {
+		c.MaxCSteps = 100
+	}
+	if c.SmallN <= 0 {
+		c.SmallN = 600
+	}
+	return c
+}
+
+// Estimate is a fitted robust location and scatter. Score returns the
+// Mahalanobis distance of a metric vector to the estimate; the MDP
+// percentile thresholder cuts on that score.
+type Estimate struct {
+	Mean []float64
+	Cov  *stats.Mat
+	// LogDet is log det(Cov) after consistency correction.
+	LogDet float64
+	// H is the subset size the estimate concentrates on.
+	H int
+	// CSteps is the number of concentration steps the winning
+	// candidate used to converge.
+	CSteps int
+
+	chol    *stats.Cholesky
+	scratch []float64
+}
+
+// ErrTooFewPoints is returned when a fit is requested on fewer points
+// than dimensions allow.
+var ErrTooFewPoints = errors.New("mcd: not enough points to fit")
+
+// Fit runs FastMCD on pts (each a d-vector) and returns the corrected
+// robust estimate.
+func Fit(pts [][]float64, cfg Config) (*Estimate, error) {
+	cfg = cfg.withDefaults()
+	n := len(pts)
+	if n == 0 {
+		return nil, ErrTooFewPoints
+	}
+	p := len(pts[0])
+	if p == 0 {
+		return nil, errors.New("mcd: zero-dimensional points")
+	}
+	if n < 2*(p+1) {
+		return nil, fmt.Errorf("%w: n=%d p=%d", ErrTooFewPoints, n, p)
+	}
+	h := defaultH(n, p, cfg.SupportFraction)
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xda3e39cb94b95bdb))
+
+	if p == 1 {
+		return fitUnivariate(pts, h)
+	}
+
+	var cand []candidate
+	if n <= cfg.SmallN {
+		cand = directTrials(pts, h, cfg, rng)
+	} else {
+		cand = nestedTrials(pts, h, cfg, rng)
+	}
+	if len(cand) == 0 {
+		return nil, errors.New("mcd: no non-singular candidate found")
+	}
+
+	// Converge the surviving candidates on the full data set and keep
+	// the lowest determinant.
+	best := candidate{logDet: math.Inf(1)}
+	bestSteps := 0
+	cs := newCStepper(pts, h)
+	for _, c := range cand {
+		mean, cov, logDet, steps, err := cs.converge(c.mean, c.cov, cfg.MaxCSteps)
+		if err != nil {
+			continue
+		}
+		if logDet < best.logDet {
+			best = candidate{mean: mean, cov: cov, logDet: logDet}
+			bestSteps = steps
+		}
+	}
+	if math.IsInf(best.logDet, 1) {
+		return nil, errors.New("mcd: concentration failed on all candidates")
+	}
+	est, err := finalize(pts, best.mean, best.cov, h)
+	if err != nil {
+		return nil, err
+	}
+	est.CSteps = bestSteps
+	return est, nil
+}
+
+// defaultH returns the subset size for the given support fraction.
+func defaultH(n, p int, frac float64) int {
+	if frac > 0 {
+		h := int(frac * float64(n))
+		if h < (n+p+1)/2 {
+			h = (n + p + 1) / 2
+		}
+		if h > n {
+			h = n
+		}
+		return h
+	}
+	return (n + p + 1) / 2
+}
+
+// Score returns the Mahalanobis distance from x to the estimate
+// (paper §4.1). It is safe for concurrent use only when each goroutine
+// uses its own Estimate clone; the hot path reuses a scratch buffer.
+func (e *Estimate) Score(x []float64) float64 {
+	return math.Sqrt(e.chol.MahalanobisSq(x, e.Mean, e.scratch))
+}
+
+// MahalanobisSq returns the squared distance, the quantity chi-square
+// distributed under normality.
+func (e *Estimate) MahalanobisSq(x []float64) float64 {
+	return e.chol.MahalanobisSq(x, e.Mean, e.scratch)
+}
+
+// Contributions decomposes x's squared Mahalanobis distance into
+// per-dimension contributions c_i = (x-mu)_i * [Cov^{-1}(x-mu)]_i,
+// the additive partition MacroBase uses (after Garthwaite & Koch) to
+// report which metrics drive an anomaly (paper Appendix A).
+func (e *Estimate) Contributions(x []float64) []float64 {
+	d := len(e.Mean)
+	diff := make([]float64, d)
+	for i := range diff {
+		diff[i] = x[i] - e.Mean[i]
+	}
+	w := e.chol.SolveVec(diff)
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = diff[i] * w[i]
+	}
+	return out
+}
+
+// Dims returns the dimensionality of the estimate.
+func (e *Estimate) Dims() int { return len(e.Mean) }
+
+// Clone returns an Estimate with private scratch space so another
+// goroutine can score concurrently.
+func (e *Estimate) Clone() *Estimate {
+	c := *e
+	c.scratch = make([]float64, len(e.Mean))
+	return &c
+}
+
+type candidate struct {
+	mean   []float64
+	cov    *stats.Mat
+	logDet float64
+}
+
+// cStepper owns the buffers for concentration steps over one dataset.
+type cStepper struct {
+	pts  [][]float64
+	h    int
+	d2   []float64
+	idx  []int
+	scr  []float64
+	dist []float64
+}
+
+func newCStepper(pts [][]float64, h int) *cStepper {
+	return &cStepper{
+		pts:  pts,
+		h:    h,
+		d2:   make([]float64, len(pts)),
+		idx:  make([]int, len(pts)),
+		scr:  make([]float64, len(pts[0])),
+		dist: make([]float64, len(pts)),
+	}
+}
+
+// step performs one C-step: rank all points by Mahalanobis distance to
+// (mean, cov) and re-estimate from the h closest. It returns the new
+// estimate and its log-determinant.
+func (s *cStepper) step(mean []float64, cov *stats.Mat) (nm []float64, nc *stats.Mat, logDet float64, err error) {
+	chol, err := cholWithRidge(cov)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for i, x := range s.pts {
+		s.d2[i] = chol.MahalanobisSq(x, mean, s.scr)
+		s.idx[i] = i
+	}
+	// Partial select the h smallest distances.
+	hk := s.h
+	sort.Slice(s.idx, func(a, b int) bool { return s.d2[s.idx[a]] < s.d2[s.idx[b]] })
+	nm, nc = stats.MeanCov(s.pts, s.idx[:hk])
+	nchol, err := cholWithRidge(nc)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return nm, nc, nchol.LogDet(), nil
+}
+
+// converge iterates C-steps until the determinant stops decreasing.
+func (s *cStepper) converge(mean []float64, cov *stats.Mat, maxSteps int) (m []float64, c *stats.Mat, logDet float64, steps int, err error) {
+	prev := math.Inf(1)
+	m, c = mean, cov
+	for steps = 0; steps < maxSteps; steps++ {
+		nm, nc, ld, serr := s.step(m, c)
+		if serr != nil {
+			return nil, nil, 0, steps, serr
+		}
+		m, c, logDet = nm, nc, ld
+		if prev-ld < 1e-12*(1+math.Abs(prev)) {
+			return m, c, logDet, steps + 1, nil
+		}
+		prev = ld
+	}
+	return m, c, logDet, steps, nil
+}
+
+// cholWithRidge factors cov, regularizing singular matrices with a
+// small diagonal ridge proportional to the average variance.
+func cholWithRidge(cov *stats.Mat) (*stats.Cholesky, error) {
+	chol, err := stats.NewCholesky(cov)
+	if err == nil {
+		return chol, nil
+	}
+	tr := 0.0
+	for i := 0; i < cov.Rows; i++ {
+		tr += cov.At(i, i)
+	}
+	lambda := 1e-8 * (tr/float64(cov.Rows) + 1)
+	for tries := 0; tries < 12; tries++ {
+		r := stats.Ridge(cov.Clone(), lambda)
+		if chol, err = stats.NewCholesky(r); err == nil {
+			return chol, nil
+		}
+		lambda *= 10
+	}
+	return nil, stats.ErrNotSPD
+}
+
+// directTrials draws random (p+1)-subsets, applies two C-steps to
+// each, and returns the TopKeep best candidates (FastMCD small-n
+// path).
+func directTrials(pts [][]float64, h int, cfg Config, rng *rand.Rand) []candidate {
+	p := len(pts[0])
+	cs := newCStepper(pts, h)
+	return runTrials(cs, p, cfg.Trials, cfg.TopKeep, rng)
+}
+
+// runTrials performs trials random starts with two concentration steps
+// each over the cStepper's dataset and keeps the best topKeep.
+func runTrials(cs *cStepper, p, trials, topKeep int, rng *rand.Rand) []candidate {
+	var cands []candidate
+	subset := make([]int, 0, p+2)
+	for t := 0; t < trials; t++ {
+		subset = randSubset(subset[:0], len(cs.pts), p+1, rng)
+		mean, cov := stats.MeanCov(cs.pts, subset)
+		// Expand singular starting subsets with extra random points
+		// until the covariance is invertible (FastMCD's remedy).
+		for len(subset) < len(cs.pts) {
+			if _, err := stats.NewCholesky(cov); err == nil {
+				break
+			}
+			subset = addRandomPoint(subset, len(cs.pts), rng)
+			mean, cov = stats.MeanCov(cs.pts, subset)
+		}
+		var err error
+		var logDet float64
+		for step := 0; step < 2; step++ {
+			mean, cov, logDet, err = cs.step(mean, cov)
+			if err != nil {
+				break
+			}
+		}
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{mean: mean, cov: cov, logDet: logDet})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].logDet < cands[j].logDet })
+	if len(cands) > topKeep {
+		cands = cands[:topKeep]
+	}
+	return cands
+}
+
+// nestedTrials implements FastMCD's large-n strategy: run trials
+// within up to five disjoint subsets of ~300 points, pool the
+// per-subset winners on the merged set, and return the merged-set
+// winners for full-data convergence.
+func nestedTrials(pts [][]float64, h int, cfg Config, rng *rand.Rand) []candidate {
+	n := len(pts)
+	p := len(pts[0])
+	const subSize = 300
+	nsub := n / subSize
+	if nsub > 5 {
+		nsub = 5
+	}
+	if nsub < 1 {
+		nsub = 1
+	}
+	// Sample nsub*subSize distinct indices and split them.
+	merged := randSubset(nil, n, nsub*subSize, rng)
+	mergedPts := make([][]float64, len(merged))
+	for i, ix := range merged {
+		mergedPts[i] = pts[ix]
+	}
+	perSub := cfg.Trials / nsub
+	if perSub < 2 {
+		perSub = 2
+	}
+	var pooled []candidate
+	for s := 0; s < nsub; s++ {
+		sub := mergedPts[s*subSize : (s+1)*subSize]
+		hSub := int(math.Ceil(float64(len(sub)) * float64(h) / float64(n)))
+		if hSub < p+1 {
+			hSub = p + 1
+		}
+		cs := newCStepper(sub, hSub)
+		pooled = append(pooled, runTrials(cs, p, perSub, cfg.TopKeep, rng)...)
+	}
+	// Refine pooled candidates on the merged set.
+	hMerged := int(math.Ceil(float64(len(mergedPts)) * float64(h) / float64(n)))
+	if hMerged < p+1 {
+		hMerged = p + 1
+	}
+	csm := newCStepper(mergedPts, hMerged)
+	var refined []candidate
+	for _, c := range pooled {
+		mean, cov, logDet := c.mean, c.cov, c.logDet
+		var err error
+		for step := 0; step < 2; step++ {
+			mean, cov, logDet, err = csm.step(mean, cov)
+			if err != nil {
+				break
+			}
+		}
+		if err != nil {
+			continue
+		}
+		refined = append(refined, candidate{mean: mean, cov: cov, logDet: logDet})
+	}
+	sort.Slice(refined, func(i, j int) bool { return refined[i].logDet < refined[j].logDet })
+	if len(refined) > cfg.TopKeep {
+		refined = refined[:cfg.TopKeep]
+	}
+	return refined
+}
+
+// finalize applies the consistency correction — rescaling the scatter
+// by median(d^2)/chi2_{p,0.5} so squared distances are chi-square
+// calibrated under normality — and prepares the scoring factorization.
+func finalize(pts [][]float64, mean []float64, cov *stats.Mat, h int) (*Estimate, error) {
+	p := len(mean)
+	chol, err := cholWithRidge(cov)
+	if err != nil {
+		return nil, err
+	}
+	d2 := make([]float64, len(pts))
+	scr := make([]float64, p)
+	for i, x := range pts {
+		d2[i] = chol.MahalanobisSq(x, mean, scr)
+	}
+	med := stats.Median(d2)
+	target := stats.ChiSquareQuantile(0.5, float64(p))
+	factor := med / target
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		factor = 1
+	}
+	corrected := cov.Clone()
+	for i := range corrected.Data {
+		corrected.Data[i] *= factor
+	}
+	cchol, err := cholWithRidge(corrected)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		Mean:    mean,
+		Cov:     corrected,
+		LogDet:  cchol.LogDet(),
+		H:       h,
+		chol:    cchol,
+		scratch: make([]float64, p),
+	}, nil
+}
+
+// fitUnivariate computes the exact univariate MCD: the length-h
+// window of the sorted sample with minimal variance.
+func fitUnivariate(pts [][]float64, h int) (*Estimate, error) {
+	n := len(pts)
+	xs := make([]float64, n)
+	for i, p := range pts {
+		xs[i] = p[0]
+	}
+	sort.Float64s(xs)
+	// Prefix sums for O(1) window mean/variance.
+	sum := make([]float64, n+1)
+	sum2 := make([]float64, n+1)
+	for i, x := range xs {
+		sum[i+1] = sum[i] + x
+		sum2[i+1] = sum2[i] + x*x
+	}
+	bestVar := math.Inf(1)
+	bestMean := 0.0
+	for i := 0; i+h <= n; i++ {
+		s := sum[i+h] - sum[i]
+		s2 := sum2[i+h] - sum2[i]
+		m := s / float64(h)
+		v := (s2 - float64(h)*m*m) / float64(h-1)
+		if v < bestVar {
+			bestVar, bestMean = v, m
+		}
+	}
+	if bestVar <= 0 {
+		bestVar = 1e-12
+	}
+	cov := stats.NewMat(1, 1)
+	cov.Set(0, 0, bestVar)
+	return finalize(pts, []float64{bestMean}, cov, h)
+}
+
+// randSubset appends k distinct indices from [0, n) to dst.
+func randSubset(dst []int, n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		for i := 0; i < n; i++ {
+			dst = append(dst, i)
+		}
+		return dst
+	}
+	seen := make(map[int]bool, k)
+	for len(dst) < k {
+		i := rng.IntN(n)
+		if !seen[i] {
+			seen[i] = true
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// addRandomPoint appends one index not already in subset.
+func addRandomPoint(subset []int, n int, rng *rand.Rand) []int {
+	in := make(map[int]bool, len(subset))
+	for _, i := range subset {
+		in[i] = true
+	}
+	for {
+		i := rng.IntN(n)
+		if !in[i] {
+			return append(subset, i)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sample
+
+// This file implements the paper's Appendix A policies for running an
+// ADR over real-time periods with variable tuple arrival rates, where
+// naive per-tuple insertion would skew the damped sample toward bursts:
+//
+//  1. PeriodSampler: "compute a uniform sample per decay period, with
+//     decay across periods" — a plain uniform reservoir collects the
+//     current period; at each period boundary its contents are pushed
+//     into the ADR (weighted so each period contributes equally) and
+//     the ADR decays.
+//  2. AverageSampler: "compute a uniform sample over time, with decay
+//     according to time" — each period contributes the average of its
+//     points as a single observation.
+
+// PeriodSampler implements policy (1).
+type PeriodSampler[T any] struct {
+	adr     *ADR[T]
+	current *Uniform[T]
+	periods int
+}
+
+// NewPeriodSampler returns a sampler whose damped reservoir has
+// capacity k and decay rate rate, collecting up to periodCap points
+// per period uniformly.
+func NewPeriodSampler[T any](k int, rate float64, periodCap int, rng RNG) *PeriodSampler[T] {
+	return &PeriodSampler[T]{
+		adr:     NewADR[T](k, rate, rng),
+		current: NewUniform[T](periodCap, rng),
+	}
+}
+
+// Observe offers x to the current period's uniform sample.
+func (p *PeriodSampler[T]) Observe(x T) { p.current.Observe(x) }
+
+// EndPeriod folds the period sample into the damped reservoir and
+// decays it. Each period contributes total weight periodCap regardless
+// of how many tuples arrived, which is what makes the policy immune to
+// arrival-rate spikes: a 10x burst still yields one period's worth of
+// weight.
+func (p *PeriodSampler[T]) EndPeriod() {
+	items := p.current.Items()
+	if len(items) > 0 {
+		// Spread the period's unit weight across its sampled items.
+		w := float64(p.current.k) / float64(len(items))
+		for _, x := range items {
+			p.adr.ObserveWeighted(x, w)
+		}
+	}
+	p.adr.Decay()
+	p.periods++
+	p.current = NewUniform[T](p.current.k, p.current.rng)
+}
+
+// Items returns the damped cross-period sample.
+func (p *PeriodSampler[T]) Items() []T { return p.adr.Items() }
+
+// Periods reports how many periods have been closed.
+func (p *PeriodSampler[T]) Periods() int { return p.periods }
+
+// AverageSampler implements policy (2) for float64 streams.
+type AverageSampler struct {
+	adr *ADR[float64]
+	sum float64
+	n   int
+}
+
+// NewAverageSampler returns a sampler whose damped reservoir has
+// capacity k and decay rate rate.
+func NewAverageSampler(k int, rate float64, rng RNG) *AverageSampler {
+	return &AverageSampler{adr: NewADR[float64](k, rate, rng)}
+}
+
+// Observe accumulates x into the current period.
+func (a *AverageSampler) Observe(x float64) {
+	a.sum += x
+	a.n++
+}
+
+// EndPeriod inserts the period average as one observation and decays.
+// Empty periods insert nothing but still decay.
+func (a *AverageSampler) EndPeriod() {
+	if a.n > 0 {
+		a.adr.Observe(a.sum / float64(a.n))
+	}
+	a.sum, a.n = 0, 0
+	a.adr.Decay()
+}
+
+// Items returns the damped sample of period averages.
+func (a *AverageSampler) Items() []float64 { return a.adr.Items() }

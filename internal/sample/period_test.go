@@ -1,0 +1,116 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPeriodSamplerResistsBurst: a 50x arrival burst within one period
+// must not dominate the cross-period sample, unlike direct per-tuple
+// ADR insertion (the Appendix A motivation).
+func TestPeriodSamplerResistsBurst(t *testing.T) {
+	const k, periodCap = 500, 100
+	ps := NewPeriodSampler[float64](k, 0.05, periodCap, NewRNG(1))
+	adr := NewADR[float64](k, 0.05, NewRNG(2))
+
+	feed := func(v float64, n int) {
+		for i := 0; i < n; i++ {
+			ps.Observe(v)
+			adr.Observe(v)
+		}
+		ps.EndPeriod()
+		adr.Decay()
+	}
+	// 30 calm periods of value 0, then one 50x burst of value 100,
+	// then 3 calm periods.
+	for i := 0; i < 30; i++ {
+		feed(0, 1000)
+	}
+	feed(100, 50_000)
+	for i := 0; i < 3; i++ {
+		feed(0, 1000)
+	}
+
+	burstFrac := func(items []float64) float64 {
+		c := 0
+		for _, v := range items {
+			if v == 100 {
+				c++
+			}
+		}
+		return float64(c) / float64(len(items))
+	}
+	pf, af := burstFrac(ps.Items()), burstFrac(adr.Items())
+	// The period sampler caps the burst at ~one period's share; the
+	// raw ADR absorbs far more.
+	if pf > 0.25 {
+		t.Errorf("period sampler burst share = %.3f, want bounded", pf)
+	}
+	if af < pf+0.2 {
+		t.Errorf("raw ADR burst share %.3f should far exceed period sampler's %.3f", af, pf)
+	}
+	if ps.Periods() != 34 {
+		t.Errorf("periods = %d", ps.Periods())
+	}
+}
+
+func TestPeriodSamplerEmptyPeriod(t *testing.T) {
+	ps := NewPeriodSampler[int](10, 0.1, 5, NewRNG(3))
+	ps.EndPeriod() // no observations: must not panic, reservoir empty
+	if len(ps.Items()) != 0 {
+		t.Errorf("items after empty period = %v", ps.Items())
+	}
+	ps.Observe(7)
+	ps.EndPeriod()
+	if len(ps.Items()) != 1 || ps.Items()[0] != 7 {
+		t.Errorf("items = %v", ps.Items())
+	}
+}
+
+func TestAverageSamplerTracksPeriodMeans(t *testing.T) {
+	as := NewAverageSampler(100, 0.1, NewRNG(4))
+	// 50 periods with mean 10, then 50 with mean 20; the damped
+	// sample mean must sit well above 10 afterward.
+	for p := 0; p < 100; p++ {
+		mean := 10.0
+		if p >= 50 {
+			mean = 20
+		}
+		for i := 0; i < 20; i++ {
+			as.Observe(mean)
+		}
+		as.EndPeriod()
+	}
+	items := as.Items()
+	if len(items) == 0 {
+		t.Fatal("empty sample")
+	}
+	sum := 0.0
+	for _, v := range items {
+		sum += v
+	}
+	avg := sum / float64(len(items))
+	if avg < 15 {
+		t.Errorf("damped mean = %v, want recency bias toward 20", avg)
+	}
+	// Each stored item is a period mean: exactly 10 or 20.
+	for _, v := range items {
+		if v != 10 && v != 20 {
+			t.Errorf("non-average item %v", v)
+		}
+	}
+}
+
+func TestAverageSamplerEmptyPeriods(t *testing.T) {
+	as := NewAverageSampler(10, 0.1, NewRNG(5))
+	as.EndPeriod()
+	as.EndPeriod()
+	if len(as.Items()) != 0 {
+		t.Errorf("items = %v", as.Items())
+	}
+	as.Observe(math.Pi)
+	as.EndPeriod()
+	if len(as.Items()) != 1 {
+		t.Errorf("items = %v", as.Items())
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Select partially sorts xs in place so that xs[k] holds the k-th
+// smallest element (0-based) and returns it. It is an introselect:
+// median-of-three quickselect with a heapsort-free fallback to full
+// sorting after too many bad pivots. Average O(n).
+func Select(xs []float64, k int) float64 {
+	if k < 0 || k >= len(xs) {
+		panic("stats: Select index out of range")
+	}
+	lo, hi := 0, len(xs)-1
+	depth := 2 * log2(len(xs))
+	for hi > lo {
+		if depth == 0 {
+			sort.Float64s(xs[lo : hi+1])
+			return xs[k]
+		}
+		depth--
+		p := partition(xs, lo, hi)
+		switch {
+		case k == p:
+			return xs[k]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return xs[k]
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// partition uses a median-of-three pivot and returns its final index.
+func partition(xs []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if xs[mid] < xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] < xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[hi] < xs[mid] {
+		xs[hi], xs[mid] = xs[mid], xs[hi]
+	}
+	pivot := xs[mid]
+	xs[mid], xs[hi-1] = xs[hi-1], xs[mid]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[hi-1] = xs[hi-1], xs[i]
+	return i
+}
+
+// Median returns the median of xs, permuting xs in place. For even
+// lengths it averages the two central order statistics. Empty input
+// returns NaN.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return Select(xs, n/2)
+	}
+	hi := Select(xs, n/2)
+	// After Select, the left half contains the n/2 smallest values;
+	// its maximum is the lower central statistic.
+	lo := xs[0]
+	for _, x := range xs[1 : n/2] {
+		if x > lo {
+			lo = x
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MedianCopy returns the median without disturbing xs.
+func MedianCopy(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	return Median(tmp)
+}
+
+// MADConsistency rescales the raw MAD to be a consistent estimator of
+// the standard deviation under normality (1/Phi^-1(3/4)).
+const MADConsistency = 1.4826022185056018
+
+// MAD returns the median and the median absolute deviation of xs
+// (raw, not consistency-scaled), permuting xs in place. The MAD is the
+// median of |x - median| (paper §4.1).
+func MAD(xs []float64) (median, mad float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	median = Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - median)
+	}
+	mad = Median(dev)
+	return median, mad
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation between order statistics, permuting xs in place.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return Select(xs, 0)
+	}
+	if q >= 1 {
+		return Select(xs, n-1)
+	}
+	pos := q * float64(n-1)
+	k := int(pos)
+	frac := pos - float64(k)
+	if frac == 0 || k+1 >= n {
+		return Select(xs, k)
+	}
+	hi := Select(xs, k+1)
+	// Largest value left of k+1 is the k-th statistic.
+	lo := xs[0]
+	for _, x := range xs[1 : k+1] {
+		if x > lo {
+			lo = x
+		}
+	}
+	return lo + frac*(hi-lo)
+}
+
+// QuantileSorted returns the q-quantile of an ascending-sorted slice
+// without modifying it.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	k := int(pos)
+	frac := pos - float64(k)
+	if frac == 0 || k+1 >= n {
+		return sorted[k]
+	}
+	return sorted[k] + frac*(sorted[k+1]-sorted[k])
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(rng.Float64()*10) - 5 // many ties
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		k := rng.IntN(n)
+		cp := append([]float64(nil), xs...)
+		if got := Select(cp, k); got != sorted[k] {
+			t.Fatalf("Select(%v, %d) = %v, want %v", xs, k, got, sorted[k])
+		}
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range k")
+		}
+	}()
+	Select([]float64{1, 2}, 2)
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median should be NaN")
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Errorf("singleton median = %v, want 7", got)
+	}
+}
+
+func TestMedianMatchesSortProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		var want float64
+		n := len(sorted)
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		got := Median(append([]float64(nil), clean...))
+		return got == want || math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// Median 4; |x-4| = {3,1,0,1,3} => MAD 1.
+	med, mad := MAD([]float64{1, 3, 4, 5, 7})
+	if med != 4 || mad != 1 {
+		t.Errorf("MAD = (%v, %v), want (4, 1)", med, mad)
+	}
+	// Robustness: one wild value barely moves the MAD.
+	med2, mad2 := MAD([]float64{1, 3, 4, 5, 1e9})
+	if med2 != 4 || mad2 != 1 {
+		t.Errorf("contaminated MAD = (%v, %v), want (4, 1)", med2, mad2)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50}, {0.1, 14},
+	}
+	for _, c := range cases {
+		cp := append([]float64(nil), xs...)
+		if got := Quantile(cp, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		q := rng.Float64()
+		cp := append([]float64(nil), xs...)
+		got := Quantile(cp, q)
+		want := QuantileSorted(sorted, q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Quantile(q=%v, n=%d) = %v, want %v", q, n, got, want)
+		}
+	}
+}
+
+func TestQuantileSortedMonotone(t *testing.T) {
+	sorted := []float64{-3, -1, 0, 2, 2, 5, 9}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := QuantileSorted(sorted, q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if got, want := r.Mean(), Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if got, want := r.Variance(), Variance(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 3
+	}
+	var whole, a, b Running
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 70 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 || math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged (%v, %v) != whole (%v, %v)", a.Mean(), a.Variance(), whole.Mean(), whole.Variance())
+	}
+}

@@ -1,0 +1,114 @@
+package transform
+
+import (
+	"math"
+
+	"macrobase/internal/core"
+)
+
+// Flow is the video feature transform of the paper's surveillance case
+// study (§6.4): it consumes points whose metrics encode a flattened
+// grayscale frame (row-major, Width x Height) and emits one point per
+// consecutive frame pair whose single metric is the mean optical-flow
+// magnitude between the frames, estimated by block matching. The paper
+// used OpenCV's optical flow; block-matching motion estimation is the
+// CPU-bound stand-in that preserves the pipeline shape (flow magnitude
+// spikes exactly when scene motion spikes).
+type Flow struct {
+	Width, Height int
+	// Block is the matching block size in pixels (default 8).
+	Block int
+	// Search is the displacement search radius (default 3).
+	Search int
+
+	prev []float64
+	have bool
+}
+
+// NewFlow returns a flow transformer for Width x Height frames.
+func NewFlow(width, height int) *Flow {
+	if width <= 0 || height <= 0 {
+		panic("transform: frame dimensions must be positive")
+	}
+	return &Flow{Width: width, Height: height, Block: 8, Search: 3}
+}
+
+// Transform implements core.Transformer. The first frame produces no
+// output; each later frame yields one point carrying the later frame's
+// attributes and time.
+func (f *Flow) Transform(dst []core.Point, batch []core.Point) []core.Point {
+	for i := range batch {
+		p := &batch[i]
+		frame := p.Metrics
+		if len(frame) != f.Width*f.Height {
+			continue // malformed frame; drop
+		}
+		if f.have {
+			mag := BlockFlow(f.prev, frame, f.Width, f.Height, f.Block, f.Search)
+			attrs := make([]int32, len(p.Attrs))
+			copy(attrs, p.Attrs)
+			dst = append(dst, core.Point{Metrics: []float64{mag}, Attrs: attrs, Time: p.Time})
+		}
+		if f.prev == nil {
+			f.prev = make([]float64, len(frame))
+		}
+		copy(f.prev, frame)
+		f.have = true
+	}
+	return dst
+}
+
+// BlockFlow estimates the mean motion magnitude between two frames by
+// exhaustive block matching: each block x block tile of cur is
+// searched in prev within +/- search pixels for the displacement
+// minimizing the sum of absolute differences; the mean displacement
+// magnitude over all tiles is returned.
+func BlockFlow(prev, cur []float64, width, height, block, search int) float64 {
+	if block <= 0 {
+		block = 8
+	}
+	if search <= 0 {
+		search = 3
+	}
+	totalMag := 0.0
+	blocks := 0
+	for by := 0; by+block <= height; by += block {
+		for bx := 0; bx+block <= width; bx += block {
+			bestSAD := math.Inf(1)
+			bestDx, bestDy := 0, 0
+			for dy := -search; dy <= search; dy++ {
+				for dx := -search; dx <= search; dx++ {
+					if bx+dx < 0 || by+dy < 0 || bx+dx+block > width || by+dy+block > height {
+						continue
+					}
+					sad := 0.0
+					for y := 0; y < block; y++ {
+						curRow := (by+y)*width + bx
+						prevRow := (by+dy+y)*width + bx + dx
+						for x := 0; x < block; x++ {
+							d := cur[curRow+x] - prev[prevRow+x]
+							if d < 0 {
+								d = -d
+							}
+							sad += d
+						}
+					}
+					// Prefer the zero displacement on ties so static
+					// scenes report zero flow.
+					if sad < bestSAD-1e-9 || (sad < bestSAD+1e-9 && dx == 0 && dy == 0) {
+						bestSAD = sad
+						bestDx, bestDy = dx, dy
+					}
+				}
+			}
+			totalMag += math.Hypot(float64(bestDx), float64(bestDy))
+			blocks++
+		}
+	}
+	if blocks == 0 {
+		return 0
+	}
+	return totalMag / float64(blocks)
+}
+
+var _ core.Transformer = (*Flow)(nil)

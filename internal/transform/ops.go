@@ -1,0 +1,230 @@
+package transform
+
+import (
+	"macrobase/internal/core"
+	"macrobase/internal/stats"
+)
+
+// ZNormalize is a streaming standardization transformer: each metric
+// dimension is shifted and scaled by running estimates of its mean and
+// standard deviation, updated online. Early points pass through nearly
+// unscaled while the estimates stabilize.
+type ZNormalize struct {
+	dims []stats.Running
+}
+
+// NewZNormalize returns a normalizer for dims metric dimensions.
+func NewZNormalize(dims int) *ZNormalize {
+	return &ZNormalize{dims: make([]stats.Running, dims)}
+}
+
+// Transform implements core.Transformer. Output points share attribute
+// slices with the input but carry fresh metric slices.
+func (z *ZNormalize) Transform(dst []core.Point, batch []core.Point) []core.Point {
+	for i := range batch {
+		p := batch[i]
+		m := make([]float64, len(p.Metrics))
+		for d, v := range p.Metrics {
+			if d < len(z.dims) {
+				z.dims[d].Add(v)
+				sd := z.dims[d].StdDev()
+				if sd > 0 {
+					m[d] = (v - z.dims[d].Mean()) / sd
+				} else {
+					m[d] = 0
+				}
+			} else {
+				m[d] = v
+			}
+		}
+		p.Metrics = m
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// MovingAverage smooths one metric dimension with a trailing window of
+// w points.
+type MovingAverage struct {
+	Dim int
+	buf []float64
+	sum float64
+	idx int
+	n   int
+}
+
+// NewMovingAverage returns a smoother over metric dim with window w.
+func NewMovingAverage(dim, w int) *MovingAverage {
+	if w <= 0 {
+		panic("transform: window must be positive")
+	}
+	return &MovingAverage{Dim: dim, buf: make([]float64, w)}
+}
+
+// Transform implements core.Transformer.
+func (m *MovingAverage) Transform(dst []core.Point, batch []core.Point) []core.Point {
+	for i := range batch {
+		p := batch[i]
+		v := p.Metrics[m.Dim]
+		if m.n < len(m.buf) {
+			m.n++
+		} else {
+			m.sum -= m.buf[m.idx]
+		}
+		m.buf[m.idx] = v
+		m.sum += v
+		m.idx = (m.idx + 1) % len(m.buf)
+		out := make([]float64, len(p.Metrics))
+		copy(out, p.Metrics)
+		out[m.Dim] = m.sum / float64(m.n)
+		p.Metrics = out
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// TimeWindow aggregates each group's points into fixed-duration
+// tumbling windows, emitting one point per (group, window) whose
+// metrics are the per-dimension means and whose time is the window
+// start. GroupAttr selects the grouping attribute by position in
+// Attrs; -1 treats the whole stream as one group. Emitted points keep
+// the attributes of the first point of the window.
+type TimeWindow struct {
+	Seconds   float64
+	GroupAttr int
+	groups    map[int32]*windowState
+}
+
+type windowState struct {
+	start  float64
+	active bool
+	sums   []float64
+	n      int
+	attrs  []int32
+}
+
+// NewTimeWindow returns a tumbling-window aggregator.
+func NewTimeWindow(seconds float64, groupAttr int) *TimeWindow {
+	if seconds <= 0 {
+		panic("transform: window duration must be positive")
+	}
+	return &TimeWindow{Seconds: seconds, GroupAttr: groupAttr, groups: make(map[int32]*windowState)}
+}
+
+func (w *TimeWindow) key(p *core.Point) int32 {
+	if w.GroupAttr < 0 || w.GroupAttr >= len(p.Attrs) {
+		return -1
+	}
+	return p.Attrs[w.GroupAttr]
+}
+
+// Transform implements core.Transformer.
+func (w *TimeWindow) Transform(dst []core.Point, batch []core.Point) []core.Point {
+	for i := range batch {
+		p := &batch[i]
+		k := w.key(p)
+		g := w.groups[k]
+		if g == nil {
+			g = &windowState{}
+			w.groups[k] = g
+		}
+		if g.active && p.Time >= g.start+w.Seconds {
+			dst = append(dst, g.emit())
+		}
+		if !g.active {
+			g.active = true
+			g.start = p.Time - mod(p.Time, w.Seconds)
+			g.n = 0
+			if cap(g.sums) < len(p.Metrics) {
+				g.sums = make([]float64, len(p.Metrics))
+			}
+			g.sums = g.sums[:len(p.Metrics)]
+			for d := range g.sums {
+				g.sums[d] = 0
+			}
+			g.attrs = append(g.attrs[:0], p.Attrs...)
+		}
+		for d, v := range p.Metrics {
+			g.sums[d] += v
+		}
+		g.n++
+	}
+	return dst
+}
+
+// Flush implements core.FlushingTransformer.
+func (w *TimeWindow) Flush(dst []core.Point) []core.Point {
+	for _, g := range w.groups {
+		if g.active && g.n > 0 {
+			dst = append(dst, g.emit())
+		}
+	}
+	return dst
+}
+
+func (g *windowState) emit() core.Point {
+	m := make([]float64, len(g.sums))
+	for d, s := range g.sums {
+		m[d] = s / float64(g.n)
+	}
+	attrs := make([]int32, len(g.attrs))
+	copy(attrs, g.attrs)
+	p := core.Point{Metrics: m, Attrs: attrs, Time: g.start}
+	g.active = false
+	return p
+}
+
+func mod(x, m float64) float64 {
+	r := x - m*float64(int64(x/m))
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// GroupBy routes points to per-group inner transformers created on
+// demand, implementing the paper's partition-by-device pipelines
+// (§6.4). GroupAttr selects the grouping attribute by position in
+// Attrs.
+type GroupBy struct {
+	GroupAttr int
+	New       func(group int32) core.Transformer
+	inner     map[int32]core.Transformer
+	one       [1]core.Point
+}
+
+// NewGroupBy returns a group-by router; factory is invoked once per
+// distinct group value.
+func NewGroupBy(groupAttr int, factory func(group int32) core.Transformer) *GroupBy {
+	return &GroupBy{GroupAttr: groupAttr, New: factory, inner: make(map[int32]core.Transformer)}
+}
+
+// Transform implements core.Transformer.
+func (g *GroupBy) Transform(dst []core.Point, batch []core.Point) []core.Point {
+	for i := range batch {
+		p := batch[i]
+		key := int32(-1)
+		if g.GroupAttr >= 0 && g.GroupAttr < len(p.Attrs) {
+			key = p.Attrs[g.GroupAttr]
+		}
+		inner, ok := g.inner[key]
+		if !ok {
+			inner = g.New(key)
+			g.inner[key] = inner
+		}
+		g.one[0] = p
+		dst = inner.Transform(dst, g.one[:])
+	}
+	return dst
+}
+
+// Flush implements core.FlushingTransformer, draining every inner
+// transformer that buffers.
+func (g *GroupBy) Flush(dst []core.Point) []core.Point {
+	for _, inner := range g.inner {
+		if ft, ok := inner.(core.FlushingTransformer); ok {
+			dst = ft.Flush(dst)
+		}
+	}
+	return dst
+}

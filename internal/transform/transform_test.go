@@ -1,0 +1,289 @@
+package transform
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"macrobase/internal/core"
+)
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{2, 4, 8, 64, 256} {
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+		}
+		wantRe, wantIm := DFT(re, im)
+		FFT(re, im)
+		for i := range re {
+			if math.Abs(re[i]-wantRe[i]) > 1e-9 || math.Abs(im[i]-wantIm[i]) > 1e-9 {
+				t.Fatalf("n=%d: FFT[%d] = (%v,%v), want (%v,%v)", n, i, re[i], im[i], wantRe[i], wantIm[i])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	re := make([]float64, 128)
+	im := make([]float64, 128)
+	orig := make([]float64, 128)
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		orig[i] = re[i]
+	}
+	FFT(re, im)
+	IFFT(re, im)
+	for i := range re {
+		if math.Abs(re[i]-orig[i]) > 1e-9 || math.Abs(im[i]) > 1e-9 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFFTPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { FFT(make([]float64, 3), make([]float64, 3)) },
+		func() { FFT(make([]float64, 4), make([]float64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpectrumDetectsFrequency(t *testing.T) {
+	// Pure tone at bin 8 of a 64-sample window.
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * 8 * float64(i) / 64)
+	}
+	mags := SpectrumMagnitudes(xs, 16)
+	peak := 0
+	for i, m := range mags {
+		if m > mags[peak] {
+			peak = i
+		}
+	}
+	if peak != 8 {
+		t.Errorf("spectral peak at bin %d, want 8", peak)
+	}
+}
+
+func TestAutocorrelationPeriodic(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 20)
+	}
+	ac := Autocorrelation(xs, 40)
+	if math.Abs(ac[0]-1) > 1e-9 {
+		t.Fatalf("ac[0] = %v", ac[0])
+	}
+	if ac[20] < 0.8 {
+		t.Errorf("ac at the period = %v, want near 1", ac[20])
+	}
+	if ac[10] > -0.5 {
+		t.Errorf("ac at half period = %v, want strongly negative", ac[10])
+	}
+	// Constant series: defined to stay at 1 at lag zero without NaN.
+	flat := Autocorrelation([]float64{5, 5, 5, 5}, 2)
+	if math.IsNaN(flat[0]) {
+		t.Error("autocorrelation of constant series is NaN")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	z := NewZNormalize(1)
+	rng := rand.New(rand.NewPCG(5, 6))
+	var out []core.Point
+	batch := make([]core.Point, 5000)
+	for i := range batch {
+		batch[i] = core.Point{Metrics: []float64{100 + rng.NormFloat64()*25}}
+	}
+	out = z.Transform(out, batch)
+	// After convergence the tail should be ~N(0,1).
+	var mean, m2 float64
+	tail := out[1000:]
+	for _, p := range tail {
+		mean += p.Metrics[0]
+	}
+	mean /= float64(len(tail))
+	for _, p := range tail {
+		d := p.Metrics[0] - mean
+		m2 += d * d
+	}
+	sd := math.Sqrt(m2 / float64(len(tail)-1))
+	if math.Abs(mean) > 0.1 || math.Abs(sd-1) > 0.1 {
+		t.Errorf("normalized tail mean %v sd %v", mean, sd)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(0, 3)
+	batch := []core.Point{
+		{Metrics: []float64{3}},
+		{Metrics: []float64{6}},
+		{Metrics: []float64{9}},
+		{Metrics: []float64{12}},
+	}
+	out := m.Transform(nil, batch)
+	want := []float64{3, 4.5, 6, 9}
+	for i, p := range out {
+		if math.Abs(p.Metrics[0]-want[i]) > 1e-12 {
+			t.Errorf("ma[%d] = %v, want %v", i, p.Metrics[0], want[i])
+		}
+	}
+}
+
+func TestTimeWindowAggregates(t *testing.T) {
+	w := NewTimeWindow(10, 0)
+	batch := []core.Point{
+		{Metrics: []float64{2}, Attrs: []int32{7}, Time: 0},
+		{Metrics: []float64{4}, Attrs: []int32{7}, Time: 5},
+		{Metrics: []float64{10}, Attrs: []int32{7}, Time: 12}, // next window
+		{Metrics: []float64{100}, Attrs: []int32{8}, Time: 3}, // other group
+	}
+	out := w.Transform(nil, batch)
+	if len(out) != 1 {
+		t.Fatalf("emitted %d, want 1", len(out))
+	}
+	if out[0].Metrics[0] != 3 || out[0].Time != 0 || out[0].Attrs[0] != 7 {
+		t.Errorf("window point = %+v", out[0])
+	}
+	rest := w.Flush(nil)
+	if len(rest) != 2 {
+		t.Fatalf("flushed %d, want 2", len(rest))
+	}
+}
+
+func TestGroupByRoutesAndFlushes(t *testing.T) {
+	g := NewGroupBy(0, func(group int32) core.Transformer {
+		return NewTimeWindow(10, -1)
+	})
+	batch := []core.Point{
+		{Metrics: []float64{1}, Attrs: []int32{1}, Time: 0},
+		{Metrics: []float64{3}, Attrs: []int32{1}, Time: 1},
+		{Metrics: []float64{5}, Attrs: []int32{2}, Time: 0},
+	}
+	out := g.Transform(nil, batch)
+	if len(out) != 0 {
+		t.Fatalf("premature emission: %v", out)
+	}
+	out = g.Flush(nil)
+	if len(out) != 2 {
+		t.Fatalf("flushed %d, want one window per group", len(out))
+	}
+}
+
+func TestSTFTEmitsPerWindow(t *testing.T) {
+	s := NewSTFT(-1, 0, 64, 8)
+	s.Hann = false
+	var batch []core.Point
+	// Two windows of a tone with different frequencies.
+	for i := 0; i < 128; i++ {
+		freq := 4.0
+		if i >= 64 {
+			freq = 16
+		}
+		batch = append(batch, core.Point{
+			Metrics: []float64{math.Sin(2 * math.Pi * freq * float64(i%64) / 64)},
+			Time:    float64(i),
+		})
+	}
+	out := s.Transform(nil, batch)
+	out = s.Flush(out)
+	if len(out) != 2 {
+		t.Fatalf("emitted %d windows, want 2", len(out))
+	}
+	if len(out[0].Metrics) != 8 || len(out[1].Metrics) != 8 {
+		t.Fatalf("coefficient arity wrong")
+	}
+	// First window has a peak at bin 4; the second's energy at bin 4
+	// should be far lower.
+	if out[0].Metrics[4] < 10*out[1].Metrics[4] {
+		t.Errorf("window spectra not distinguished: %v vs %v", out[0].Metrics[4], out[1].Metrics[4])
+	}
+}
+
+func TestSTFTGroupsAndAttrs(t *testing.T) {
+	s := NewSTFT(0, 0, 10, 4)
+	s.AttrsFor = func(group int32, start float64) []int32 {
+		return []int32{group, int32(start)}
+	}
+	var batch []core.Point
+	for i := 0; i < 20; i++ {
+		batch = append(batch, core.Point{Metrics: []float64{1}, Attrs: []int32{9}, Time: float64(i)})
+	}
+	out := s.Transform(nil, batch)
+	out = s.Flush(out)
+	if len(out) != 2 {
+		t.Fatalf("emitted %d, want 2", len(out))
+	}
+	if out[0].Attrs[0] != 9 || out[1].Attrs[1] != 10 {
+		t.Errorf("window attrs = %v, %v", out[0].Attrs, out[1].Attrs)
+	}
+}
+
+func TestBlockFlowStaticVsShifted(t *testing.T) {
+	const w, h = 32, 32
+	frame := make([]float64, w*h)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := range frame {
+		frame[i] = rng.Float64() * 255
+	}
+	if mag := BlockFlow(frame, frame, w, h, 8, 3); mag != 0 {
+		t.Errorf("static flow = %v, want 0", mag)
+	}
+	// Shift the frame 2 pixels right: flow magnitude ~2.
+	shifted := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx := x - 2
+			if sx < 0 {
+				sx = 0
+			}
+			shifted[y*w+x] = frame[y*w+sx]
+		}
+	}
+	mag := BlockFlow(frame, shifted, w, h, 8, 3)
+	if mag < 1.0 || mag > 3.0 {
+		t.Errorf("shifted flow = %v, want ~2", mag)
+	}
+}
+
+func TestFlowTransformer(t *testing.T) {
+	const w, h = 16, 16
+	f := NewFlow(w, h)
+	mk := func(shift int) core.Point {
+		fr := make([]float64, w*h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fr[y*w+x] = float64((x + shift) % 8)
+			}
+		}
+		return core.Point{Metrics: fr, Attrs: []int32{1}}
+	}
+	out := f.Transform(nil, []core.Point{mk(0), mk(0), mk(3)})
+	if len(out) != 2 {
+		t.Fatalf("emitted %d, want 2", len(out))
+	}
+	if out[0].Metrics[0] != 0 {
+		t.Errorf("static pair flow = %v", out[0].Metrics[0])
+	}
+	if out[1].Metrics[0] == 0 {
+		t.Error("moving pair reported zero flow")
+	}
+	// Malformed frames are dropped.
+	if got := f.Transform(nil, []core.Point{{Metrics: []float64{1, 2}}}); len(got) != 0 {
+		t.Error("malformed frame not dropped")
+	}
+}
