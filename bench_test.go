@@ -11,6 +11,7 @@ package macrobase
 //	go run ./cmd/mbbench -run all
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"macrobase/internal/baselines"
@@ -410,4 +411,70 @@ func BenchmarkKNNBaseline(b *testing.B) {
 			mcdEst.Score(uni[i%len(uni)])
 		}
 	})
+}
+
+// --- Sharded streaming engine: shard-count throughput sweep ------------
+
+// BenchmarkShardedStream sweeps the shared-nothing sharded streaming
+// engine from 1 shard up to max(4, GOMAXPROCS) on the streaming MDP
+// workload (the Table 2 streaming kernel). With one shard this is the
+// sequential EWS pipeline plus channel hand-off; with P shards on >= P
+// cores, throughput should scale close to linearly until ingest
+// partitioning saturates (run on a multicore machine to observe the
+// paper-style Figure 11 scaling; a single-core box serializes the
+// workers).
+func BenchmarkShardedStream(b *testing.B) {
+	pts := benchDatasetPoints(b, "CMT", true, 100_000)
+	maxShards := runtime.GOMAXPROCS(0)
+	if maxShards < 4 {
+		maxShards = 4
+	}
+	var shardCounts []int
+	for p := 1; p <= maxShards; p *= 2 {
+		shardCounts = append(shardCounts, p)
+	}
+	if last := shardCounts[len(shardCounts)-1]; last != maxShards {
+		shardCounts = append(shardCounts, maxShards)
+	}
+	for _, p := range shardCounts {
+		b.Run(fmt.Sprintf("shards-%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(pts)))
+			for i := 0; i < b.N; i++ {
+				src := core.NewSliceSource(pts)
+				if _, err := pipeline.RunShardedStream(src, pipeline.Config{
+					Dims: 1, Seed: 7, RetrainEvery: 50_000,
+				}, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamSessionPoll measures the cost of a live merged
+// snapshot (clone per shard + summary merge + rank) while the stream
+// is resident, the serving-path latency of the /stream poll endpoint.
+func BenchmarkStreamSessionPoll(b *testing.B) {
+	pts := benchDatasetPoints(b, "CMT", true, 100_000)
+	i := 0
+	src := core.NewFuncSource(4096, func(dst []core.Point) int {
+		for j := range dst {
+			dst[j] = pts[i%len(pts)]
+			i++
+		}
+		return len(dst)
+	})
+	sess, err := pipeline.StartShardedStream(src, pipeline.Config{
+		Dims: 1, Seed: 7, RetrainEvery: 50_000,
+	}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Poll(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

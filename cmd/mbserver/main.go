@@ -4,15 +4,25 @@
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness probe
-//	POST /query            body: ingest.QueryConfig JSON; runs the
-//	                       query server-side over the configured CSV
-//	                       and returns ranked, decoded explanations
+//	GET  /healthz              liveness probe
+//	POST /query                body: ingest.QueryConfig JSON; runs the
+//	                           query server-side over the configured CSV
+//	                           and returns ranked, decoded explanations
+//	POST /stream/start         body: QueryConfig JSON + "shards"; starts
+//	                           a resident sharded streaming session and
+//	                           returns its id
+//	GET  /stream/{id}          polls the session's current reconciled
+//	                           explanation set without pausing ingest
+//	POST /stream/{id}/stop     halts the session and returns its final
+//	                           result (also DELETE /stream/{id})
 //
 // Usage:
 //
 //	mbserver -addr :8080
 //	curl -s localhost:8080/query -d @query.json
+//	id=$(curl -s localhost:8080/stream/start -d @query.json | jq -r .id)
+//	curl -s localhost:8080/stream/$id
+//	curl -s -X POST localhost:8080/stream/$id/stop
 package main
 
 import (
@@ -23,6 +33,9 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	"macrobase/internal/core"
@@ -35,22 +48,30 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.Parse()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("POST /query", handleQuery)
-
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           newMux(newStreamRegistry()),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("mbserver listening on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// newMux assembles the routes; tests construct their own instance.
+func newMux(reg *streamRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /query", handleQuery)
+	mux.HandleFunc("POST /stream/start", reg.handleStart)
+	mux.HandleFunc("GET /stream/{id}", reg.handlePoll)
+	mux.HandleFunc("POST /stream/{id}/stop", reg.handleStop)
+	mux.HandleFunc("DELETE /stream/{id}", reg.handleStop)
+	return mux
 }
 
 // queryResponse is the JSON report returned to programmatic consumers.
@@ -86,17 +107,7 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	pcfg := pipeline.Config{
-		Dims:             len(cfg.Metrics),
-		Percentile:       cfg.Percentile,
-		MinSupport:       cfg.MinSupport,
-		MinRiskRatio:     cfg.MinRiskRatio,
-		DecayRate:        cfg.DecayRate,
-		DecayEveryPoints: cfg.DecayEveryPoints,
-		ReservoirSize:    cfg.ReservoirSize,
-		Confidence:       cfg.Confidence,
-		Seed:             cfg.Seed,
-	}
+	pcfg := pipelineConfig(cfg)
 	var res *pipeline.Result
 	if cfg.Streaming {
 		res, err = pipeline.RunStreaming(src, pcfg)
@@ -120,9 +131,32 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	enc.Decorate(res.Explanations)
-	resp := queryResponse{Points: res.Stats.Points, Outliers: res.Stats.Outliers}
-	for _, e := range res.Explanations {
-		resp.Explanations = append(resp.Explanations, explanationJSON{
+	writeJSON(w, queryResponse{
+		Points:       res.Stats.Points,
+		Outliers:     res.Stats.Outliers,
+		Explanations: explanationsJSON(res.Explanations),
+	})
+}
+
+// pipelineConfig maps the wire config onto pipeline parameters.
+func pipelineConfig(cfg *ingest.QueryConfig) pipeline.Config {
+	return pipeline.Config{
+		Dims:             len(cfg.Metrics),
+		Percentile:       cfg.Percentile,
+		MinSupport:       cfg.MinSupport,
+		MinRiskRatio:     cfg.MinRiskRatio,
+		DecayRate:        cfg.DecayRate,
+		DecayEveryPoints: cfg.DecayEveryPoints,
+		ReservoirSize:    cfg.ReservoirSize,
+		Confidence:       cfg.Confidence,
+		Seed:             cfg.Seed,
+	}
+}
+
+func explanationsJSON(exps []core.Explanation) []explanationJSON {
+	out := make([]explanationJSON, 0, len(exps))
+	for _, e := range exps {
+		out = append(out, explanationJSON{
 			Attributes: e.Attributes,
 			Support:    e.Support,
 			RiskRatio:  jsonSafe(e.RiskRatio),
@@ -130,10 +164,239 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 			Inliers:    e.InlierCount,
 		})
 	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("encoding response: %v", err)
 	}
+}
+
+// streamStartRequest is the /stream/start body: a query config plus
+// shard count. Streaming mode is implied.
+type streamStartRequest struct {
+	ingest.QueryConfig
+	// Shards is the worker count P (default 1).
+	Shards int `json:"shards,omitempty"`
+}
+
+// maxShards bounds the per-request worker count: a shard costs a
+// goroutine plus classifier/explainer replicas (~10K-element
+// reservoirs and sketches each), so an uncapped value is a one-request
+// denial of service. Past the core count extra shards only fragment
+// the training samples anyway (see doc.go).
+var maxShards = max(64, 4*runtime.GOMAXPROCS(0))
+
+// streamState is one resident streaming query with its encoder (ids
+// must decode with the encoder that interned them) and the open input
+// file, closed as soon as the stream terminates (closeOnce guards the
+// poll/stop race).
+type streamState struct {
+	session   *pipeline.StreamSession
+	enc       *encode.Encoder
+	file      *os.File
+	closeOnce sync.Once
+}
+
+// reapFile closes the input file once the session no longer reads it.
+// Called whenever a handler observes the session done, so streams that
+// end naturally release their descriptor even if the client never
+// stops them.
+func (st *streamState) reapFile() {
+	st.closeOnce.Do(func() { st.file.Close() })
+}
+
+// maxSessions bounds concurrently resident streams; finished sessions
+// are reaped lazily on start, so the cap applies to live ones.
+const maxSessions = 64
+
+// streamRegistry tracks resident streaming sessions by id.
+type streamRegistry struct {
+	mu       sync.Mutex
+	sessions map[string]*streamState
+	next     int
+}
+
+// reserve claims a session slot and id under one critical section, so
+// concurrent starts cannot race past the cap: the placeholder holds
+// the slot until install replaces it or release frees it. Under
+// pressure it first reaps sessions whose streams have finished
+// (closing their inputs and dropping their shard state) — finished-
+// but-unpolled results are sacrificed only then, so clients that poll
+// or stop promptly never notice.
+func (g *streamRegistry) reserve() (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.sessions) >= maxSessions {
+		for id, st := range g.sessions {
+			if st.session != nil && st.session.Done() {
+				st.reapFile()
+				delete(g.sessions, id)
+			}
+		}
+		if len(g.sessions) >= maxSessions {
+			return "", false
+		}
+	}
+	g.next++
+	id := "s" + strconv.Itoa(g.next)
+	g.sessions[id] = &streamState{} // placeholder holds the slot
+	return id, true
+}
+
+// install replaces the reserved placeholder with the live session.
+func (g *streamRegistry) install(id string, st *streamState) {
+	g.mu.Lock()
+	g.sessions[id] = st
+	g.mu.Unlock()
+}
+
+// release frees a reserved slot after a failed start.
+func (g *streamRegistry) release(id string) {
+	g.mu.Lock()
+	delete(g.sessions, id)
+	g.mu.Unlock()
+}
+
+func newStreamRegistry() *streamRegistry {
+	return &streamRegistry{sessions: make(map[string]*streamState)}
+}
+
+func (g *streamRegistry) handleStart(w http.ResponseWriter, r *http.Request) {
+	var req streamStartRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("parsing stream config: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Shards == 0 {
+		req.Shards = 1
+	}
+	if req.Shards < 0 {
+		http.Error(w, "shards must be positive", http.StatusBadRequest)
+		return
+	}
+	if req.Shards > maxShards {
+		http.Error(w, fmt.Sprintf("shards must be <= %d", maxShards), http.StatusBadRequest)
+		return
+	}
+	id, ok := g.reserve()
+	if !ok {
+		http.Error(w, fmt.Sprintf("too many resident streams (max %d); stop one first", maxSessions), http.StatusTooManyRequests)
+		return
+	}
+	f, err := os.Open(req.Input)
+	if err != nil {
+		g.release(id)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	enc := encode.NewEncoder(req.Attributes...)
+	src, err := ingest.NewCSVSource(f, req.Schema(), enc)
+	if err != nil {
+		g.release(id)
+		f.Close()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess, err := pipeline.StartShardedStream(src, pipelineConfig(&req.QueryConfig), req.Shards)
+	if err != nil {
+		g.release(id)
+		f.Close()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	g.install(id, &streamState{session: sess, enc: enc, file: f})
+	writeJSON(w, map[string]any{"id": id, "shards": req.Shards})
+}
+
+// lookup fetches a session by path id without removing it. Reserved
+// placeholders (start still in flight) are reported as absent.
+func (g *streamRegistry) lookup(r *http.Request) (*streamState, string, bool) {
+	id := r.PathValue("id")
+	g.mu.Lock()
+	st, ok := g.sessions[id]
+	g.mu.Unlock()
+	return st, id, ok && st.session != nil
+}
+
+// streamResponse is the poll/stop report.
+type streamResponse struct {
+	ID           string            `json:"id"`
+	Done         bool              `json:"done"`
+	Points       int               `json:"points"`
+	Outliers     int               `json:"outliers"`
+	DecayTicks   int               `json:"decayTicks"`
+	Explanations []explanationJSON `json:"explanations"`
+}
+
+func (g *streamRegistry) handlePoll(w http.ResponseWriter, r *http.Request) {
+	st, id, ok := g.lookup(r)
+	if !ok {
+		http.Error(w, "unknown stream "+id, http.StatusNotFound)
+		return
+	}
+	// Capture doneness before polling: if the stream terminates while
+	// Poll is in flight, the snapshot may predate the final flush, so
+	// reporting done:false (client polls again, sees the final result)
+	// errs in the harmless direction.
+	done := st.session.Done()
+	res, err := st.session.Poll()
+	if st.session.Done() {
+		st.reapFile()
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeStreamResponse(w, id, st, res, done)
+}
+
+func (g *streamRegistry) handleStop(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.mu.Lock()
+	st, ok := g.sessions[id]
+	if ok && st.session == nil {
+		ok = false // reserved placeholder: start still in flight
+	} else {
+		delete(g.sessions, id)
+	}
+	g.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown stream "+id, http.StatusNotFound)
+		return
+	}
+	res, err := st.session.Stop()
+	st.reapFile()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeStreamResponse(w, id, st, res, true)
+}
+
+func writeStreamResponse(w http.ResponseWriter, id string, st *streamState, res *pipeline.ShardedResult, done bool) {
+	// Decorate a copy: poll results are session-owned snapshots but
+	// the final result is shared across concurrent poll/stop calls.
+	exps := make([]core.Explanation, len(res.Explanations))
+	copy(exps, res.Explanations)
+	st.enc.Decorate(exps)
+	resp := streamResponse{
+		ID:         id,
+		Done:       done,
+		Points:     res.Stats.Points,
+		Outliers:   res.Stats.Outliers,
+		DecayTicks: res.Stats.DecayTicks,
+	}
+	resp.Explanations = explanationsJSON(exps)
+	writeJSON(w, resp)
 }
 
 // jsonSafe maps the +Inf risk ratio of combinations absent from the

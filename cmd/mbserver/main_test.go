@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -101,5 +102,175 @@ func TestJSONSafe(t *testing.T) {
 	}
 	if jsonSafe(3.5) != 3.5 {
 		t.Error("finite value altered")
+	}
+}
+
+// startStream posts a stream/start request and returns the session id.
+func startStream(t *testing.T, srv *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/stream/start", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("start status %d", resp.StatusCode)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("empty stream id")
+	}
+	return out.ID
+}
+
+func getJSON(t *testing.T, url string, dst any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, dst any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestStreamEndpointsLifecycle: start a sharded streaming session over
+// CSV data, poll it, stop it, and check the final report still names
+// the anomalous device.
+func TestStreamEndpointsLifecycle(t *testing.T) {
+	srv := httptest.NewServer(newMux(newStreamRegistry()))
+	defer srv.Close()
+	csvPath := writeTestCSV(t)
+	body := fmt.Sprintf(`{"input":%q,"metrics":["power"],"attributes":["device"],"minSupport":0.05,"decayEveryPoints":5000,"shards":2}`, csvPath)
+	id := startStream(t, srv, body)
+
+	var poll streamResponse
+	if code := getJSON(t, srv.URL+"/stream/"+id, &poll); code != http.StatusOK {
+		t.Fatalf("poll status %d", code)
+	}
+	if poll.ID != id {
+		t.Errorf("poll id %q, want %q", poll.ID, id)
+	}
+
+	var final streamResponse
+	if code := postJSON(t, srv.URL+"/stream/"+id+"/stop", &final); code != http.StatusOK {
+		t.Fatalf("stop status %d", code)
+	}
+	if !final.Done {
+		t.Error("final report not done")
+	}
+	if final.Points == 0 {
+		t.Error("final report has no points")
+	}
+	found := false
+	for _, e := range final.Explanations {
+		for _, a := range e.Attributes {
+			if a.Column == "device" && a.Value == "dev7" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("anomalous device not in final report: %+v", final.Explanations)
+	}
+	// The session is reaped: further polls and stops 404.
+	if code := getJSON(t, srv.URL+"/stream/"+id, nil); code != http.StatusNotFound {
+		t.Errorf("poll after stop status %d, want 404", code)
+	}
+	if code := postJSON(t, srv.URL+"/stream/"+id+"/stop", nil); code != http.StatusNotFound {
+		t.Errorf("double stop status %d, want 404", code)
+	}
+}
+
+// TestStreamEndpointsConcurrent hammers the registry with concurrent
+// session starts, polls, and stops; run under -race this exercises the
+// full ingest/worker/snapshot/stop concurrency of the sharded engine
+// behind the HTTP surface.
+func TestStreamEndpointsConcurrent(t *testing.T) {
+	srv := httptest.NewServer(newMux(newStreamRegistry()))
+	defer srv.Close()
+	csvPath := writeTestCSV(t)
+
+	const sessions = 4
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"input":%q,"metrics":["power"],"attributes":["device"],"minSupport":0.05,"decayEveryPoints":2000,"shards":%d}`, csvPath, 1+s%3)
+			id := startStream(t, srv, body)
+
+			var pollers sync.WaitGroup
+			for p := 0; p < 3; p++ {
+				pollers.Add(1)
+				go func() {
+					defer pollers.Done()
+					for i := 0; i < 5; i++ {
+						code := getJSON(t, srv.URL+"/stream/"+id, nil)
+						// 404 is legal once a concurrent stop reaped it.
+						if code != http.StatusOK && code != http.StatusNotFound {
+							t.Errorf("poll status %d", code)
+							return
+						}
+					}
+				}()
+			}
+			pollers.Wait()
+			code := postJSON(t, srv.URL+"/stream/"+id+"/stop", nil)
+			if code != http.StatusOK && code != http.StatusNotFound {
+				t.Errorf("stop status %d", code)
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// TestStreamStartErrors covers rejected stream configurations.
+func TestStreamStartErrors(t *testing.T) {
+	srv := httptest.NewServer(newMux(newStreamRegistry()))
+	defer srv.Close()
+	for name, body := range map[string]string{
+		"empty config":  `{}`,
+		"bad json":      `{"shards":`,
+		"unknown field": `{"input":"x.csv","metrics":["m"],"attributes":["a"],"bogus":1}`,
+		"missing file":  `{"input":"/nonexistent.csv","metrics":["m"],"attributes":["a"]}`,
+		"neg shards":    `{"input":"/nonexistent.csv","metrics":["m"],"attributes":["a"],"shards":-2}`,
+		"huge shards":   `{"input":"/nonexistent.csv","metrics":["m"],"attributes":["a"],"shards":1000000000}`,
+	} {
+		resp, err := http.Post(srv.URL+"/stream/start", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if code := getJSON(t, srv.URL+"/stream/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown id poll status %d, want 404", code)
 	}
 }

@@ -9,4 +9,39 @@
 // examples/, and the benchmark suite regenerating every table and
 // figure of the paper's evaluation in bench_test.go plus
 // internal/experiments.
+//
+// # Sharded streaming execution
+//
+// Beyond the paper's single-core dataflow runtime (core.Runner), the
+// repo provides a shared-nothing sharded streaming engine
+// (core.StreamRunner, pipeline.RunShardedStream): an ingest goroutine
+// hash-partitions batches by attribute set across P shard workers over
+// bounded channels; each shard owns its own transformer/classifier/
+// explainer replicas and local decay clock, so one shard is exactly
+// the paper's EWS pipeline over its hash partition. Per-shard
+// streaming summaries (AMC sketches, M-CPS-trees) are mergeable in the
+// mergeable-summaries sense — merged error bounds sum — and a merge
+// stage reconciles them into one globally ranked explanation set,
+// either on demand while the stream runs (pipeline.StreamSession.Poll,
+// served by cmd/mbserver's /stream endpoints) or when the stream
+// terminates.
+//
+// Consistency trade-off vs. single-shard EWS (the streaming analog of
+// the paper's Figure 11): the router hashes a point's full attribute
+// set, so points with identical attribute vectors always land on one
+// shard; sub-combinations of multi-attribute data (e.g. {device=d7}
+// alone when points carry device and version) still span shards, and
+// their merged counts are exact only up to the summed sketch error
+// bounds, which is what the mergeable-summaries property guarantees.
+// Additionally, each shard trains its classifier and adapts its
+// percentile threshold on only its partition of the metric
+// distribution, so score cutoffs can drift apart across shards, and
+// per-shard decay clocks tick on shard-local point counts rather than
+// the global count. Pick shard
+// counts accordingly: P=1 reproduces sequential EWS exactly; P up to
+// the core count buys near-linear throughput at a small accuracy cost
+// that shrinks as per-shard sample sizes grow; past the core count
+// extra shards only fragment the training samples. Benchmark with
+// BenchmarkShardedStream (bench_test.go), which sweeps P from 1 to
+// GOMAXPROCS on the streaming MDP workload.
 package macrobase

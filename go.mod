@@ -1,0 +1,3 @@
+module macrobase
+
+go 1.22

@@ -37,7 +37,9 @@ type RunStats struct {
 // source, pushes them through the transformers, classifier, and
 // explainer, and schedules decay ticks. It is the Go analog of the
 // paper's single-core dataflow runtime (Appendix C), amortizing
-// per-operator overhead across batches of points.
+// per-operator overhead across batches of points. The batch kernel
+// itself (pipeExec) is shared with the sharded engine (StreamRunner),
+// which runs one replica of it per shard.
 //
 // The zero value is not usable; populate at least Source. Classifier
 // and Explainer are optional so the same runner can drive
@@ -60,16 +62,11 @@ type Runner struct {
 	// halts execution with ErrStopped.
 	Stop func(stats RunStats) bool
 
-	stats     RunStats
-	sincePts  int
-	lastTick  float64
-	haveTick  bool
-	labelBuf  []LabeledPoint
-	xformBufs [][]Point
+	exec pipeExec
 }
 
 // Stats returns statistics for the most recent Run.
-func (r *Runner) Stats() RunStats { return r.stats }
+func (r *Runner) Stats() RunStats { return r.exec.stats }
 
 // Run drives the pipeline until the source is exhausted (one-shot
 // execution) or Stop requests a halt. In streaming deployments the
@@ -83,113 +80,25 @@ func (r *Runner) Run() (RunStats, error) {
 	if batch <= 0 {
 		batch = 4096
 	}
-	r.stats = RunStats{}
-	r.sincePts = 0
-	r.haveTick = false
-	if cap(r.xformBufs) < len(r.Transforms) {
-		r.xformBufs = make([][]Point, len(r.Transforms))
-	}
+	r.exec.transforms = r.Transforms
+	r.exec.classifier = r.Classifier
+	r.exec.explainer = r.Explainer
+	r.exec.extraDecay = r.ExtraDecay
+	r.exec.policy = r.Decay
+	r.exec.onBatch = r.OnBatch
+	r.exec.reset()
 	for {
-		if r.Stop != nil && r.Stop(r.stats) {
-			return r.stats, ErrStopped
+		if r.Stop != nil && r.Stop(r.exec.stats) {
+			return r.exec.stats, ErrStopped
 		}
 		pts, err := r.Source.Next(batch)
 		if err == ErrEndOfStream {
-			r.flush()
-			return r.stats, nil
+			r.exec.flush()
+			return r.exec.stats, nil
 		}
 		if err != nil {
-			return r.stats, fmt.Errorf("core: source: %w", err)
+			return r.exec.stats, fmt.Errorf("core: source: %w", err)
 		}
-		r.stats.Points += len(pts)
-		r.process(pts)
-		r.maybeDecay(pts)
-	}
-}
-
-// process pushes one ingested batch through transform/classify/explain.
-func (r *Runner) process(pts []Point) {
-	for i, t := range r.Transforms {
-		r.xformBufs[i] = t.Transform(r.xformBufs[i][:0], pts)
-		pts = r.xformBufs[i]
-	}
-	r.dispatch(pts)
-}
-
-// flush drains buffering transformers after end of stream, continuing
-// each residue through the remaining pipeline stages.
-func (r *Runner) flush() {
-	for i, t := range r.Transforms {
-		ft, ok := t.(FlushingTransformer)
-		if !ok {
-			continue
-		}
-		pts := ft.Flush(nil)
-		for j := i + 1; j < len(r.Transforms); j++ {
-			r.xformBufs[j] = r.Transforms[j].Transform(r.xformBufs[j][:0], pts)
-			pts = r.xformBufs[j]
-		}
-		r.dispatch(pts)
-	}
-}
-
-// dispatch classifies and explains one transformed batch.
-func (r *Runner) dispatch(pts []Point) {
-	if len(pts) == 0 {
-		return
-	}
-	r.stats.OutPoints += len(pts)
-	if r.Classifier == nil {
-		return
-	}
-	r.labelBuf = r.Classifier.ClassifyBatch(r.labelBuf[:0], pts)
-	for i := range r.labelBuf {
-		if r.labelBuf[i].Label == Outlier {
-			r.stats.Outliers++
-		}
-	}
-	if r.OnBatch != nil {
-		r.OnBatch(r.labelBuf)
-	}
-	if r.Explainer != nil {
-		r.Explainer.Consume(r.labelBuf)
-	}
-}
-
-// maybeDecay applies the decay policy after ingesting pts.
-func (r *Runner) maybeDecay(pts []Point) {
-	p := r.Decay
-	if p.EveryPoints > 0 {
-		r.sincePts += len(pts)
-		for r.sincePts >= p.EveryPoints {
-			r.sincePts -= p.EveryPoints
-			r.tick()
-		}
-	}
-	if p.EverySeconds > 0 && len(pts) > 0 {
-		now := pts[len(pts)-1].Time
-		if !r.haveTick {
-			r.lastTick = now
-			r.haveTick = true
-			return
-		}
-		for now-r.lastTick >= p.EverySeconds {
-			r.lastTick += p.EverySeconds
-			r.tick()
-		}
-	}
-}
-
-// tick damps every decayable component once.
-func (r *Runner) tick() {
-	r.stats.DecayTicks++
-	if d, ok := r.Classifier.(Decayable); ok {
-		d.Decay()
-	}
-	if d, ok := r.Explainer.(Decayable); ok {
-		d.Decay()
-	}
-	for _, d := range r.ExtraDecay {
-		d.Decay()
+		r.exec.consume(pts)
 	}
 }

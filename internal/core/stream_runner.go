@@ -1,0 +1,385 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardPipeline is one shard's operator replicas in a sharded
+// streaming execution: its own transformers, classifier, and explainer,
+// sharing no state with other shards (shared-nothing execution). The
+// engine never synchronizes on operator state; all cross-shard
+// reconciliation happens through snapshots.
+type ShardPipeline struct {
+	Transforms []Transformer
+	Classifier Classifier
+	Explainer  Explainer
+	// ExtraDecay lists additional components damped on this shard's
+	// decay ticks.
+	ExtraDecay []Decayable
+}
+
+// StreamStats aggregates a sharded run's statistics.
+type StreamStats struct {
+	// RunStats totals across shards. Points counts what the ingest
+	// loop partitioned; the remaining fields sum the shard workers'.
+	RunStats
+	// PerShard holds each shard worker's own statistics.
+	PerShard []RunStats
+}
+
+// StreamRunner executes a MacroBase pipeline sharded across P
+// shared-nothing workers: an ingest goroutine pulls batches from the
+// source, hash-partitions the points, and hands per-shard sub-batches
+// to workers over bounded channels (backpressure, not buffering,
+// absorbs bursts). Each worker owns its operator replicas and its own
+// decay clock, so a shard is exactly the paper's EWS pipeline over its
+// hash partition of the stream; a merge stage (driven by the caller
+// through Snapshot) reconciles per-shard summaries into one global
+// view.
+//
+// With Shards=1 and the same operators, StreamRunner is execution-
+// equivalent to Runner: one worker consumes every batch in ingest
+// order with the same decay schedule.
+//
+// The Source's returned Point structs are copied into per-shard
+// batches during partitioning, but the Metrics/Attrs slices inside
+// them are shared: sources must not reuse those backing arrays across
+// Next calls (SliceSource and CSVSource satisfy this; wrap buffer-
+// recycling sources with a deep-copying adapter).
+type StreamRunner struct {
+	Source Source
+	// Shards is the worker count P (default 1).
+	Shards int
+	// NewShard builds shard s's operator replicas (required). It is
+	// called once per shard before ingestion starts, from the
+	// Run goroutine.
+	NewShard func(shard int) ShardPipeline
+	// Partition routes a point to a shard in [0, shards). The default
+	// hashes the point's attributes, so all points sharing an
+	// attribute set land on one shard and its summaries see every
+	// occurrence (the property shard merges rely on).
+	Partition func(p *Point, shards int) int
+	// BatchSize is the ingest batch size (default 4096).
+	BatchSize int
+	// QueueDepth bounds each shard's channel (default 2 batches).
+	QueueDepth int
+	// Decay is applied per shard on the shard's local clock: a shard
+	// ticks after ingesting EveryPoints of its own points (or when
+	// its own event time advances EverySeconds), exactly as a
+	// standalone EWS pipeline over the shard's substream would.
+	Decay DecayPolicy
+	// SnapshotShard, when non-nil, enables the Snapshot method: it
+	// runs on the worker goroutine between batches and should return
+	// an immutable view of the shard's summary state (e.g. a clone of
+	// its explainer).
+	SnapshotShard func(shard int, pl ShardPipeline) any
+	// OnBatch, if non-nil, observes each shard's labeled batches
+	// (called on worker goroutines; must be safe for concurrent use).
+	OnBatch func(shard int, batch []LabeledPoint)
+	// Stop, if non-nil, is polled by the ingest loop between source
+	// batches with the number of points ingested so far; returning
+	// true halts execution with ErrStopped after workers drain.
+	Stop func(pointsIngested int) bool
+
+	workersMu sync.Mutex // guards workers/quit against end-of-run teardown
+	workers   []*shardWorker
+	quit      chan struct{}
+	started   atomic.Bool
+
+	// live counters, updated per batch, readable mid-run.
+	livePoints    atomic.Int64
+	liveOutPoints atomic.Int64
+	liveOutliers  atomic.Int64
+	liveTicks     atomic.Int64
+}
+
+type snapshotReq struct {
+	reply chan any
+}
+
+type shardWorker struct {
+	id   int
+	r    *StreamRunner
+	pl   ShardPipeline
+	data chan []Point
+	snap chan snapshotReq
+	done chan struct{} // closed when the worker has drained and flushed
+	exec pipeExec      // the shared batch kernel, one replica per shard
+}
+
+// ErrNotStreaming is returned by Snapshot outside a Run.
+var ErrNotStreaming = errors.New("core: stream runner is not running")
+
+// Run executes the sharded pipeline until the source is exhausted or
+// Stop requests a halt (ErrStopped). It blocks until every worker has
+// drained; Snapshot may be called concurrently from other goroutines
+// while Run is in flight.
+func (r *StreamRunner) Run() (StreamStats, error) {
+	if r.Source == nil {
+		return StreamStats{}, errors.New("core: StreamRunner requires a Source")
+	}
+	if r.NewShard == nil {
+		return StreamStats{}, errors.New("core: StreamRunner requires NewShard")
+	}
+	shards := r.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	batch := r.BatchSize
+	if batch <= 0 {
+		batch = 4096
+	}
+	depth := r.QueueDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	partition := r.Partition
+	if partition == nil {
+		partition = HashPartition
+	}
+
+	r.livePoints.Store(0)
+	r.liveOutPoints.Store(0)
+	r.liveOutliers.Store(0)
+	r.liveTicks.Store(0)
+	r.quit = make(chan struct{})
+	r.workers = make([]*shardWorker, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		w := &shardWorker{
+			id:   s,
+			r:    r,
+			pl:   r.NewShard(s),
+			data: make(chan []Point, depth),
+			snap: make(chan snapshotReq),
+			done: make(chan struct{}),
+		}
+		w.exec = pipeExec{
+			transforms: w.pl.Transforms,
+			classifier: w.pl.Classifier,
+			explainer:  w.pl.Explainer,
+			extraDecay: w.pl.ExtraDecay,
+			policy:     r.Decay,
+			onDispatch: func(outPoints, outliers int) {
+				r.liveOutPoints.Add(int64(outPoints))
+				r.liveOutliers.Add(int64(outliers))
+			},
+			onTick: func() { r.liveTicks.Add(1) },
+		}
+		if r.OnBatch != nil {
+			shard := s
+			w.exec.onBatch = func(batch []LabeledPoint) { r.OnBatch(shard, batch) }
+		}
+		w.exec.reset()
+		r.workers[s] = w
+		wg.Add(1)
+		go w.run(&wg)
+	}
+	r.started.Store(true)
+
+	// Ingest loop: partition each source batch into freshly allocated
+	// per-shard sub-batches (ownership transfers to the worker).
+	ingested := 0
+	var ingestErr error
+	var routes []int32
+	stopped := false
+	for {
+		if r.Stop != nil && r.Stop(ingested) {
+			stopped = true
+			break
+		}
+		pts, err := r.Source.Next(batch)
+		if err == ErrEndOfStream {
+			break
+		}
+		if err != nil {
+			ingestErr = fmt.Errorf("core: source: %w", err)
+			break
+		}
+		ingested += len(pts)
+		r.livePoints.Add(int64(len(pts)))
+		if shards == 1 {
+			// Single shard: forward the batch copy without routing.
+			sub := make([]Point, len(pts))
+			copy(sub, pts)
+			r.workers[0].data <- sub
+			continue
+		}
+		// Route each point once (the hash walks the full attribute
+		// vector and this loop is the engine's serialization point),
+		// recording shard indexes in a reusable scratch slice, then
+		// size and fill the sub-batches from the recorded routes.
+		if cap(routes) < len(pts) {
+			routes = make([]int32, len(pts))
+		}
+		routes = routes[:len(pts)]
+		sizes := make([]int, shards)
+		for i := range pts {
+			s := partition(&pts[i], shards)
+			routes[i] = int32(s)
+			sizes[s]++
+		}
+		subs := make([][]Point, shards)
+		for s := range subs {
+			if sizes[s] > 0 {
+				subs[s] = make([]Point, 0, sizes[s])
+			}
+		}
+		for i := range pts {
+			s := routes[i]
+			subs[s] = append(subs[s], pts[i])
+		}
+		for s, sub := range subs {
+			if len(sub) > 0 {
+				r.workers[s].data <- sub
+			}
+		}
+	}
+	for _, w := range r.workers {
+		close(w.data)
+	}
+	wg.Wait()
+
+	stats := StreamStats{PerShard: make([]RunStats, shards)}
+	stats.Points = ingested
+	for s, w := range r.workers {
+		stats.PerShard[s] = w.exec.stats
+		stats.OutPoints += w.exec.stats.OutPoints
+		stats.Outliers += w.exec.stats.Outliers
+		stats.DecayTicks += w.exec.stats.DecayTicks
+	}
+	// Release any snapshot servers, mark not running, then drop the
+	// worker set: a finished run must not pin P shards' operator
+	// replicas (reservoirs, sketches, trees) for the lifetime of a
+	// long-lived session object. workersMu orders the drop against
+	// concurrent Snapshot reads.
+	r.started.Store(false)
+	close(r.quit)
+	r.workersMu.Lock()
+	r.workers = nil
+	r.workersMu.Unlock()
+	if ingestErr != nil {
+		return stats, ingestErr
+	}
+	if stopped {
+		return stats, ErrStopped
+	}
+	return stats, nil
+}
+
+// LiveStats reports approximate run-in-progress totals. Safe to call
+// concurrently with Run; each field is individually consistent.
+func (r *StreamRunner) LiveStats() RunStats {
+	return RunStats{
+		Points:     int(r.livePoints.Load()),
+		OutPoints:  int(r.liveOutPoints.Load()),
+		Outliers:   int(r.liveOutliers.Load()),
+		DecayTicks: int(r.liveTicks.Load()),
+	}
+}
+
+// Snapshot collects one summary snapshot per shard, taken on each
+// worker's goroutine between batches (so a snapshot never observes a
+// half-consumed batch). The Snapshot hook must be configured. Returns
+// ErrNotStreaming if the run has finished (callers then use the final
+// results) or not started.
+func (r *StreamRunner) Snapshot() ([]any, error) {
+	if r.SnapshotShard == nil {
+		return nil, errors.New("core: StreamRunner has no Snapshot hook")
+	}
+	if !r.started.Load() {
+		return nil, ErrNotStreaming
+	}
+	r.workersMu.Lock()
+	workers := r.workers
+	quit := r.quit
+	r.workersMu.Unlock()
+	if workers == nil {
+		return nil, ErrNotStreaming
+	}
+	// Fan the requests out before collecting any reply, so the poll
+	// pays the slowest shard's snapshot cost rather than the sum and
+	// the per-shard snapshots are taken at (nearly) the same stream
+	// time. Reply channels are buffered, so workers never block on a
+	// collector that is still waiting on an earlier shard.
+	reqs := make([]snapshotReq, len(workers))
+	for i, w := range workers {
+		reqs[i] = snapshotReq{reply: make(chan any, 1)}
+		select {
+		case w.snap <- reqs[i]:
+		case <-quit:
+			return nil, ErrNotStreaming
+		}
+	}
+	out := make([]any, len(workers))
+	for i := range reqs {
+		out[i] = <-reqs[i].reply
+	}
+	return out, nil
+}
+
+// HashPartition is the default shard router: an FNV-1a hash of the
+// point's encoded attributes. Points with identical attribute vectors
+// always land on the same shard, so a full attribute set's occurrences
+// concentrate there; sub-combinations of multi-attribute points still
+// span shards, and their merged counts are exact only up to the summed
+// sketch error bounds. Points without attributes land on shard 0.
+func HashPartition(p *Point, shards int) int {
+	if len(p.Attrs) == 0 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for _, a := range p.Attrs {
+		v := uint32(a)
+		h ^= v & 0xff
+		h *= 16777619
+		h ^= (v >> 8) & 0xff
+		h *= 16777619
+		h ^= (v >> 16) & 0xff
+		h *= 16777619
+		h ^= v >> 24
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// run is the worker loop: consume sub-batches, serve snapshot
+// requests between them, flush on drain, then keep serving snapshots
+// until the runner shuts down.
+func (w *shardWorker) run(wg *sync.WaitGroup) {
+	for {
+		select {
+		case pts, ok := <-w.data:
+			if !ok {
+				// Flush at drain even when stopped: for a resident
+				// streaming session, stop is the normal termination
+				// and residual windows are still worth explaining.
+				w.exec.flush()
+				close(w.done)
+				wg.Done()
+				w.serveSnapshots()
+				return
+			}
+			w.exec.consume(pts)
+		case req := <-w.snap:
+			req.reply <- w.r.SnapshotShard(w.id, w.pl)
+		}
+	}
+}
+
+// serveSnapshots answers snapshot requests after drain so a concurrent
+// Snapshot never deadlocks against a finished worker; it exits when
+// Run closes the quit channel.
+func (w *shardWorker) serveSnapshots() {
+	for {
+		select {
+		case req := <-w.snap:
+			req.reply <- w.r.SnapshotShard(w.id, w.pl)
+		case <-w.r.quit:
+			return
+		}
+	}
+}

@@ -299,3 +299,61 @@ func (t *Tree) ItemsetSupport(items []int32) float64 {
 	}
 	return total
 }
+
+// ForEachPath visits the tree's stored transactions as (items, weight)
+// pairs, the export half of tree merging: replaying every visited path
+// into an empty tree reproduces this tree's counts. The items slice is
+// only valid for the duration of the call.
+func (t *Tree) ForEachPath(f func(items []int32, weight float64)) {
+	paths, weights := t.weightedPaths()
+	for i := range paths {
+		f(paths[i], weights[i])
+	}
+}
+
+// Merge folds src's transactions into t, the shard-reconciliation
+// operation of the sharded streaming engine: each shard grows its own
+// tree over its hash partition and the merge stage unions them. The
+// merge is lossless — src's items bypass t's allowed filter, since
+// each shard's frequent set legitimately differs — and the allowed
+// sets union: an item frequent on either shard stays insertable.
+func (t *Tree) Merge(src *Tree) {
+	if t.allowed != nil {
+		if src.allowed == nil {
+			t.allowed = nil
+		} else {
+			for it := range src.allowed {
+				t.allowed[it] = true
+			}
+		}
+	}
+	saved := t.allowed
+	t.allowed = nil
+	src.ForEachPath(func(items []int32, w float64) {
+		t.Insert(items, w)
+	})
+	t.allowed = saved
+}
+
+// Clone returns a deep copy of the tree: same item order, allowed set,
+// and transaction weights, sharing no nodes with the receiver.
+func (t *Tree) Clone() *Tree {
+	c := newTree(t.trackAll)
+	c.order = append(c.order, t.order...)
+	for it, r := range t.rank {
+		c.rank[it] = r
+	}
+	for it := range t.headers {
+		c.headers[it] = &header{}
+	}
+	if t.allowed != nil {
+		c.allowed = make(map[int32]bool, len(t.allowed))
+		for it := range t.allowed {
+			c.allowed[it] = true
+		}
+	}
+	t.ForEachPath(func(items []int32, w float64) {
+		c.Insert(items, w)
+	})
+	return c
+}

@@ -222,3 +222,65 @@ func TestNumNodesSharing(t *testing.T) {
 		t.Errorf("NumNodes = %d, want 3 (shared prefix)", got)
 	}
 }
+
+// TestMergeEqualsUnionInsert: merging two trees built over disjoint
+// transaction sets must support every itemset with the same weight as
+// one tree built over the union.
+func TestMergeEqualsUnionInsert(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 43))
+	txsA := randomTxs(rng, 300, 12, 4)
+	txsB := randomTxs(rng, 300, 12, 4)
+
+	a, b, union := NewMCPS(), NewMCPS(), NewMCPS()
+	for _, tx := range txsA {
+		a.Insert(tx, 1)
+		union.Insert(tx, 1)
+	}
+	for _, tx := range txsB {
+		b.Insert(tx, 1)
+		union.Insert(tx, 1)
+	}
+	merged := a.Clone()
+	merged.Merge(b)
+
+	for _, want := range union.Mine(1, 0) {
+		got := merged.ItemsetSupport(want.Items)
+		if math.Abs(got-want.Count) > 1e-6 {
+			t.Errorf("itemset %v: merged support %v, union support %v", want.Items, got, want.Count)
+		}
+	}
+	// And the reverse order agrees too.
+	merged2 := b.Clone()
+	merged2.Merge(a)
+	for _, want := range union.Mine(1, 0) {
+		got := merged2.ItemsetSupport(want.Items)
+		if math.Abs(got-want.Count) > 1e-6 {
+			t.Errorf("itemset %v: reverse-merged support %v, union support %v", want.Items, got, want.Count)
+		}
+	}
+}
+
+// TestCloneIndependent: mutating the original after cloning must not
+// affect the clone.
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	txs := randomTxs(rng, 200, 10, 4)
+	orig := NewMCPS()
+	for _, tx := range txs {
+		orig.Insert(tx, 1)
+	}
+	c := orig.Clone()
+	before := map[string]float64{}
+	for _, is := range c.Mine(1, 0) {
+		before[key(is.Items)] = is.Count
+	}
+	orig.Insert([]int32{0, 1, 2}, 50)
+	orig.Restructure(nil, 0.5)
+	after := map[string]float64{}
+	for _, is := range c.Mine(1, 0) {
+		after[key(is.Items)] = is.Count
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Error("clone changed when original was mutated")
+	}
+}

@@ -1,0 +1,72 @@
+package explain
+
+import "macrobase/internal/core"
+
+// This file makes the streaming explainer's summary state mergeable so
+// that MacroBase's sharded streaming engine can keep shared-nothing
+// per-shard explainers and still produce one global ranked explanation
+// set: each shard summarizes its hash partition of the labeled stream,
+// and a merge stage clones the per-shard states and folds them
+// together. Because the underlying AMC sketches and M-CPS-trees merge
+// with summed error bounds (mergeable summaries), a merged explainer
+// over P disjoint partitions answers support queries within P times the
+// single-shard bound — the consistency trade-off of sharded execution.
+
+// Clone returns a deep copy of the explainer's summary state (sketches,
+// trees, class totals). A shard worker hands clones to the merge stage
+// between batches and keeps consuming; the clone never observes later
+// writes.
+func (s *Streaming) Clone() *Streaming {
+	return &Streaming{
+		cfg:      s.cfg,
+		outAttrs: s.outAttrs.Clone(),
+		inAttrs:  s.inAttrs.Clone(),
+		outTree:  s.outTree.Clone(),
+		inTree:   s.inTree.Clone(),
+		totalOut: s.totalOut,
+		totalIn:  s.totalIn,
+	}
+}
+
+// Merge folds other's summary state into s, treating the two as
+// summaries of disjoint substreams: attribute sketches merge under
+// mergeable-summaries semantics, prefix trees union their transaction
+// multisets, and class totals add. Merging does not decay either side;
+// callers merge states that share a decay schedule (the sharded
+// engine's per-shard clocks tick on the same tuple period).
+func (s *Streaming) Merge(other *Streaming) {
+	s.outAttrs.Merge(other.outAttrs)
+	s.inAttrs.Merge(other.inAttrs)
+	s.outTree.Merge(other.outTree)
+	s.inTree.Merge(other.inTree)
+	s.totalOut += other.totalOut
+	s.totalIn += other.totalIn
+}
+
+// MergeStreaming reconciles per-shard explainer states into one ranked
+// explanation set. With a single shard it queries the state directly
+// (no clone), so a one-shard sharded run reproduces sequential EWS
+// output exactly. With several shards it merges a clone of the first
+// input, leaving every shard state untouched.
+func MergeStreaming(shards []*Streaming) []core.Explanation {
+	if len(shards) > 1 {
+		owned := append([]*Streaming{shards[0].Clone()}, shards[1:]...)
+		return MergeStreamingInto(owned)
+	}
+	return MergeStreamingInto(shards)
+}
+
+// MergeStreamingInto is MergeStreaming for callers that own shards[0]
+// (e.g. a poll over throwaway snapshot clones): the merge folds the
+// rest into it in place, skipping the defensive deep copy on the
+// serving hot path. shards[1:] are only read.
+func MergeStreamingInto(shards []*Streaming) []core.Explanation {
+	if len(shards) == 0 {
+		return nil
+	}
+	m := shards[0]
+	for _, sh := range shards[1:] {
+		m.Merge(sh)
+	}
+	return m.Explanations()
+}

@@ -110,31 +110,15 @@ type Result struct {
 // M-CPS-trees), with decay ticks on the configured tuple period.
 func RunStreaming(src core.Source, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	cls := cfg.Classifier
-	if cls == nil {
-		cls = classify.NewStreaming(classify.StreamingConfig{
-			Dims:               cfg.Dims,
-			ReservoirSize:      cfg.ReservoirSize,
-			ScoreReservoirSize: cfg.ReservoirSize,
-			DecayRate:          cfg.DecayRate,
-			Percentile:         cfg.Percentile,
-			RetrainEvery:       cfg.RetrainEvery,
-			Seed:               cfg.Seed,
-		}, cfg.Trainer)
-	}
-	exp := explain.NewStreaming(explain.StreamingConfig{
-		MinSupport:   cfg.MinSupport,
-		MinRiskRatio: cfg.MinRiskRatio,
-		DecayRate:    cfg.DecayRate,
-		AMCSize:      cfg.AMCSize,
-		MaxItems:     cfg.MaxItems,
-		Confidence:   cfg.Confidence,
-	})
+	// Shard 0 of a sharded run and a sequential run build identical
+	// operators (the shard-seed offset is zero), so the construction
+	// is shared and the two paths cannot drift apart.
+	pl := newShardPipeline(cfg, 0)
 	r := core.Runner{
 		Source:     src,
-		Transforms: cfg.Transforms,
-		Classifier: cls,
-		Explainer:  exp,
+		Transforms: pl.Transforms,
+		Classifier: pl.Classifier,
+		Explainer:  pl.Explainer,
 		BatchSize:  cfg.BatchSize,
 		Decay:      core.DecayPolicy{EveryPoints: cfg.DecayEveryPoints},
 	}
@@ -142,7 +126,7 @@ func RunStreaming(src core.Source, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Stats: stats, Explanations: exp.Explanations()}, nil
+	return &Result{Stats: stats, Explanations: pl.Explainer.(*explain.Streaming).Explanations()}, nil
 }
 
 // RunOneShot executes MDP in one-shot batch mode over stored points

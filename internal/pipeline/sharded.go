@@ -1,0 +1,249 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"macrobase/internal/classify"
+	"macrobase/internal/core"
+	"macrobase/internal/explain"
+)
+
+// ShardedResult is the outcome of a sharded streaming execution.
+type ShardedResult struct {
+	Stats core.StreamStats
+	// Explanations is the reconciled global view: per-shard streaming
+	// summaries merged under mergeable-summaries semantics and ranked
+	// (explain.Rank order). Unlike RunParallel's union of finished
+	// explanation lists, the merge happens at the summary level, so
+	// support and risk ratios are computed over the combined counts.
+	Explanations []core.Explanation
+}
+
+// newShardPipeline builds shard s's MDP operator replicas. Shard seeds
+// are decorrelated the same way RunParallel decorrelates partitions;
+// with a single shard the seed is exactly cfg.Seed, which keeps
+// one-shard execution identical to RunStreaming. A caller-supplied
+// Classifier or Transforms (legal only with one shard) is installed
+// verbatim.
+func newShardPipeline(cfg Config, shard int) core.ShardPipeline {
+	pl := core.ShardPipeline{
+		Transforms: cfg.Transforms,
+		Classifier: cfg.Classifier,
+		Explainer: explain.NewStreaming(explain.StreamingConfig{
+			MinSupport:   cfg.MinSupport,
+			MinRiskRatio: cfg.MinRiskRatio,
+			DecayRate:    cfg.DecayRate,
+			AMCSize:      cfg.AMCSize,
+			MaxItems:     cfg.MaxItems,
+			Confidence:   cfg.Confidence,
+		}),
+	}
+	if pl.Classifier == nil {
+		pl.Classifier = classify.NewStreaming(classify.StreamingConfig{
+			Dims:               cfg.Dims,
+			ReservoirSize:      cfg.ReservoirSize,
+			ScoreReservoirSize: cfg.ReservoirSize,
+			DecayRate:          cfg.DecayRate,
+			Percentile:         cfg.Percentile,
+			RetrainEvery:       cfg.RetrainEvery,
+			Seed:               cfg.Seed + uint64(shard)*7919,
+		}, cfg.Trainer)
+	}
+	return pl
+}
+
+// validateSharded rejects configurations that cannot be replicated
+// per shard: operator instances are stateful, so sharded execution
+// needs per-shard replicas, not shared instances.
+func validateSharded(cfg Config, shards int) error {
+	if shards <= 0 {
+		return fmt.Errorf("pipeline: shards must be positive")
+	}
+	if shards > 1 && cfg.Classifier != nil {
+		return fmt.Errorf("pipeline: sharded streaming cannot share one Classifier instance across %d shards; leave Classifier nil (MDP builds per-shard replicas)", shards)
+	}
+	if shards > 1 && len(cfg.Transforms) > 0 {
+		return fmt.Errorf("pipeline: sharded streaming cannot share Transform instances across %d shards", shards)
+	}
+	if shards > 1 && cfg.Trainer != nil {
+		// Each shard's classifier retrains on its own worker
+		// goroutine, so a shared trainer closure would be invoked
+		// concurrently.
+		return fmt.Errorf("pipeline: sharded streaming cannot share one Trainer across %d shards", shards)
+	}
+	return nil
+}
+
+// RunShardedStream executes MDP in exponentially weighted streaming
+// mode sharded across P shared-nothing workers: points are hash-
+// partitioned by attribute set, each shard runs its own streaming
+// classifier and explainer with a local decay clock, and the final
+// merge reconciles per-shard summaries into one ranked explanation
+// set. With shards=1 this is exactly RunStreaming. With shards>1 each
+// combination's counts are concentrated on a single shard by the hash
+// router, so merged support is exact up to the (summed) sketch bounds;
+// classification thresholds, however, adapt per shard — the sharded
+// analog of the accuracy trade-off RunParallel exhibits in Figure 11.
+func RunShardedStream(src core.Source, cfg Config, shards int) (*ShardedResult, error) {
+	cfg = cfg.withDefaults()
+	if err := validateSharded(cfg, shards); err != nil {
+		return nil, err
+	}
+	// NewShard runs sequentially on this goroutine before workers
+	// start, so plain slice writes are safe.
+	explainers := make([]*explain.Streaming, shards)
+	r := core.StreamRunner{
+		Source: src,
+		Shards: shards,
+		NewShard: func(shard int) core.ShardPipeline {
+			pl := newShardPipeline(cfg, shard)
+			explainers[shard] = pl.Explainer.(*explain.Streaming)
+			return pl
+		},
+		BatchSize: cfg.BatchSize,
+		Decay:     core.DecayPolicy{EveryPoints: cfg.DecayEveryPoints},
+	}
+	stats, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedResult{Stats: stats, Explanations: explain.MergeStreaming(explainers)}, nil
+}
+
+// StreamSession is a long-lived sharded streaming query: Start launches
+// the engine over an (often unbounded) source, Poll merges per-shard
+// summaries into the current global explanation set without pausing
+// ingest, and Stop halts the stream and returns the final reconciled
+// result. It is the serving-layer form of the paper's streaming MDP —
+// the query stays resident and the current attention-worthy
+// explanations are always one Poll away.
+type StreamSession struct {
+	runner *core.StreamRunner
+
+	stopFlag atomic.Bool
+	done     chan struct{}
+
+	mu    sync.Mutex
+	final *ShardedResult
+	err   error
+}
+
+// StartShardedStream validates the configuration and launches a
+// sharded streaming session over src. The session owns src until the
+// stream terminates.
+func StartShardedStream(src core.Source, cfg Config, shards int) (*StreamSession, error) {
+	cfg = cfg.withDefaults()
+	if err := validateSharded(cfg, shards); err != nil {
+		return nil, err
+	}
+	s := &StreamSession{done: make(chan struct{})}
+	explainers := make([]*explain.Streaming, shards)
+	s.runner = &core.StreamRunner{
+		Source: src,
+		Shards: shards,
+		NewShard: func(shard int) core.ShardPipeline {
+			pl := newShardPipeline(cfg, shard)
+			explainers[shard] = pl.Explainer.(*explain.Streaming)
+			return pl
+		},
+		// Poll clones the shard's summary on the worker goroutine:
+		// the worker keeps consuming after the snapshot is handed
+		// over, so the clone is the isolation boundary.
+		SnapshotShard: func(shard int, pl core.ShardPipeline) any {
+			return pl.Explainer.(*explain.Streaming).Clone()
+		},
+		BatchSize: cfg.BatchSize,
+		Decay:     core.DecayPolicy{EveryPoints: cfg.DecayEveryPoints},
+		Stop:      func(int) bool { return s.stopFlag.Load() },
+	}
+	go func() {
+		defer close(s.done)
+		stats, err := s.runner.Run()
+		res := &ShardedResult{Stats: stats}
+		if err == nil || err == core.ErrStopped {
+			res.Explanations = explain.MergeStreaming(explainers)
+		}
+		// The final result is materialized; drop the runner's closure
+		// references (explainer replicas, source, config) so a session
+		// kept around for polling does not pin P shards of summary
+		// state. Post-done Poll/Stop only read s.final, and no
+		// goroutine reads these particular fields concurrently: Run
+		// has returned and Snapshot touches only SnapshotShard (left
+		// in place — its closure captures nothing).
+		s.runner.NewShard = nil
+		s.runner.Source = nil
+		s.runner.Stop = nil
+		s.mu.Lock()
+		s.final = res
+		if err != core.ErrStopped {
+			s.err = err
+		}
+		s.mu.Unlock()
+	}()
+	return s, nil
+}
+
+// Done reports whether the stream has terminated (source exhausted,
+// stopped, or failed).
+func (s *StreamSession) Done() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Poll returns the current reconciled explanation set and live
+// statistics. While the stream runs, per-shard summary clones are
+// taken on the shard workers between batches and merged off to the
+// side, without pausing ingest; after termination it returns the
+// final result.
+func (s *StreamSession) Poll() (*ShardedResult, error) {
+	for !s.Done() {
+		snaps, err := s.runner.Snapshot()
+		if err == nil {
+			explainers := make([]*explain.Streaming, len(snaps))
+			for i, v := range snaps {
+				explainers[i] = v.(*explain.Streaming)
+			}
+			live := s.runner.LiveStats()
+			return &ShardedResult{
+				Stats: core.StreamStats{RunStats: live},
+				// The snapshots are poll-owned clones, so the
+				// consuming merge skips a redundant deep copy.
+				Explanations: explain.MergeStreamingInto(explainers),
+			}, nil
+		}
+		if err != core.ErrNotStreaming {
+			return nil, err
+		}
+		// ErrNotStreaming means the run either has not reached its
+		// steady state yet or just terminated; wait a beat and let
+		// the Done check distinguish the two.
+		select {
+		case <-s.done:
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.final, s.err
+}
+
+// Stop halts ingestion, waits for the workers to drain and flush, and
+// returns the final reconciled result. Stop is idempotent. The stop
+// flag is polled between source batches (the same cooperative model as
+// core.Runner), so termination requires Source.Next to return; a
+// source that can block indefinitely waiting for data should enforce
+// its own read deadline.
+func (s *StreamSession) Stop() (*ShardedResult, error) {
+	s.stopFlag.Store(true)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.final, s.err
+}

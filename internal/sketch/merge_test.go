@@ -1,0 +1,310 @@
+package sketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// zipfStream draws n items from a skewed distribution over universe
+// [0, u) and returns the stream plus exact counts.
+func zipfStreamExact(n, u int, seed uint64) ([]int, map[int]float64) {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(u-1))
+	stream := make([]int, n)
+	exact := make(map[int]float64, u)
+	for i := range stream {
+		it := int(z.Uint64())
+		stream[i] = it
+		exact[it]++
+	}
+	return stream, exact
+}
+
+func addExact(dst, src map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(dst)+len(src))
+	for k, v := range dst {
+		out[k] += v
+	}
+	for k, v := range src {
+		out[k] += v
+	}
+	return out
+}
+
+// TestAMCMergeGuarantees checks the mergeable-summaries laws: merged
+// estimates never undershoot the true combined count, overshoot by at
+// most the combined error bound, and every item whose true combined
+// count exceeds the combined bound survives the merge.
+func TestAMCMergeGuarantees(t *testing.T) {
+	const stable = 64
+	sa, ea := zipfStreamExact(60_000, 4096, 1)
+	sb, eb := zipfStreamExact(40_000, 4096, 2)
+	a := NewAMC[int](stable, 0.01).WithMaxSize(2 * stable)
+	b := NewAMC[int](stable, 0.01).WithMaxSize(2 * stable)
+	for _, it := range sa {
+		a.Observe(it, 1)
+	}
+	for _, it := range sb {
+		b.Observe(it, 1)
+	}
+	a.Maintain()
+	b.Maintain()
+	bound := a.ErrorBound() + b.ErrorBound()
+	if bound <= 0 {
+		t.Fatal("test not exercising pruning: zero error bounds")
+	}
+
+	exact := addExact(ea, eb)
+	m := a.Clone()
+	m.Merge(b)
+	if m.Len() > stable {
+		t.Errorf("merged sketch size %d exceeds stable size %d", m.Len(), stable)
+	}
+	if m.ErrorBound() < bound {
+		t.Errorf("merged error bound %v below sum of inputs %v", m.ErrorBound(), bound)
+	}
+	m.ForEach(func(it int, est float64) {
+		truth := exact[it]
+		if est < truth-1e-9 {
+			t.Errorf("item %d: estimate %v undershoots true count %v", it, est, truth)
+		}
+		if est > truth+m.ErrorBound()+1e-9 {
+			t.Errorf("item %d: estimate %v overshoots true %v by more than bound %v", it, est, truth, m.ErrorBound())
+		}
+	})
+	// No heavy hitter above the guaranteed bound may be lost. Survivors
+	// of the merge prune all have merged estimate >= the pruning
+	// threshold >= any discarded estimate >= the true count of what was
+	// discarded; an item with true count > merged error bound therefore
+	// cannot have been discarded.
+	for it, truth := range exact {
+		if truth <= m.ErrorBound() {
+			continue
+		}
+		if _, ok := m.Count(it); !ok {
+			t.Errorf("heavy hitter %d (true count %v > bound %v) lost in merge", it, truth, m.ErrorBound())
+		}
+	}
+}
+
+// TestAMCMergeOrderInsensitive verifies merge is symmetric when no
+// pruning interferes: A∪B and B∪A must agree exactly on every count
+// and on the error bound.
+func TestAMCMergeOrderInsensitive(t *testing.T) {
+	sa, _ := zipfStreamExact(30_000, 512, 3)
+	sb, _ := zipfStreamExact(30_000, 512, 4)
+	mk := func(stream []int) *AMC[int] {
+		s := NewAMC[int](48, 0.01).WithMaxSize(96)
+		for _, it := range stream {
+			s.Observe(it, 1)
+		}
+		s.Maintain()
+		return s
+	}
+	// Build each input once and clone: Maintain breaks count ties in
+	// map-iteration order, so two builds of the same stream may track
+	// different tied items. Merge symmetry is over the summaries, not
+	// the streams.
+	a, b := mk(sa), mk(sb)
+	a1, b1 := a.Clone(), b.Clone()
+	a2, b2 := a.Clone(), b.Clone()
+
+	// Capacity large enough that the merged union needs no pruning:
+	// merge into fresh sketches with a big stable size so symmetry is
+	// exact rather than tie-dependent.
+	big := func(s *AMC[int]) *AMC[int] {
+		c := NewAMC[int](10_000, 0.01)
+		c.wi = s.wi
+		for k, v := range s.counts {
+			c.counts[k] = v
+		}
+		return c
+	}
+	ab := big(a1)
+	ab.Merge(b1)
+	ba := big(b2)
+	ba.Merge(a2)
+	if ab.Len() != ba.Len() {
+		t.Fatalf("merge not symmetric: sizes %d vs %d", ab.Len(), ba.Len())
+	}
+	if math.Abs(ab.ErrorBound()-ba.ErrorBound()) > 1e-9 {
+		t.Errorf("error bounds differ: %v vs %v", ab.ErrorBound(), ba.ErrorBound())
+	}
+	ab.ForEach(func(it int, est float64) {
+		got, ok := ba.Count(it)
+		if !ok {
+			t.Errorf("item %d in A∪B but not B∪A", it)
+			return
+		}
+		if math.Abs(got-est) > 1e-9 {
+			t.Errorf("item %d: A∪B=%v B∪A=%v", it, est, got)
+		}
+	})
+}
+
+// TestAMCMergeThreeWayAssociativity merges three shard sketches in two
+// different orders and checks the surviving heavy hitters agree within
+// the combined error bound.
+func TestAMCMergeThreeWayAssociativity(t *testing.T) {
+	streams := make([][]int, 3)
+	exact := map[int]float64{}
+	for i := range streams {
+		var e map[int]float64
+		streams[i], e = zipfStreamExact(25_000, 2048, uint64(10+i))
+		exact = addExact(exact, e)
+	}
+	mk := func(stream []int) *AMC[int] {
+		s := NewAMC[int](64, 0.01).WithMaxSize(128)
+		for _, it := range stream {
+			s.Observe(it, 1)
+		}
+		s.Maintain()
+		return s
+	}
+	// ((0 ∪ 1) ∪ 2) vs ((2 ∪ 1) ∪ 0), over the same three summaries.
+	s0, s1, s2 := mk(streams[0]), mk(streams[1]), mk(streams[2])
+	x := s0.Clone()
+	x.Merge(s1.Clone())
+	x.Merge(s2.Clone())
+	y := s2.Clone()
+	y.Merge(s1.Clone())
+	y.Merge(s0.Clone())
+	for it, truth := range exact {
+		if truth <= x.ErrorBound() || truth <= y.ErrorBound() {
+			continue
+		}
+		ex, okx := x.Count(it)
+		ey, oky := y.Count(it)
+		if !okx || !oky {
+			t.Errorf("heavy hitter %d lost in one order (x=%v y=%v)", it, okx, oky)
+			continue
+		}
+		if ex < truth-1e-9 || ey < truth-1e-9 {
+			t.Errorf("heavy hitter %d undershoots: x=%v y=%v true=%v", it, ex, ey, truth)
+		}
+	}
+}
+
+// TestSpaceSavingHeapMerge checks the heap variant preserves heavy
+// hitters above the combined minimum-counter bound and that estimates
+// upper-bound the truth.
+func TestSpaceSavingHeapMerge(t *testing.T) {
+	const k = 64
+	sa, ea := zipfStreamExact(50_000, 4096, 5)
+	sb, eb := zipfStreamExact(50_000, 4096, 6)
+	a := NewSpaceSavingHeap[int](k)
+	b := NewSpaceSavingHeap[int](k)
+	for _, it := range sa {
+		a.Observe(it, 1)
+	}
+	for _, it := range sb {
+		b.Observe(it, 1)
+	}
+	bound := a.minCount() + b.minCount()
+	exact := addExact(ea, eb)
+	m := a.Clone()
+	m.Merge(b)
+	if m.Len() > k {
+		t.Fatalf("merged size %d > k %d", m.Len(), k)
+	}
+	for _, e := range m.Entries() {
+		if truth := exact[e.Item]; e.Count < truth-1e-9 {
+			t.Errorf("item %d: estimate %v undershoots true %v", e.Item, e.Count, truth)
+		}
+	}
+	// Heavy hitters above the combined bound must appear among the
+	// merged counters: their merged estimate >= truth > bound, and at
+	// most k-1 items can outrank them only if their estimates are
+	// >= truth, all of which are legitimate top-k candidates; verify
+	// the planted heaviest explicitly.
+	for it, truth := range exact {
+		if truth <= bound || truth <= m.minCount() {
+			continue
+		}
+		if _, ok := m.Count(it); !ok {
+			t.Errorf("heavy hitter %d (true %v > bound %v) lost", it, truth, bound)
+		}
+	}
+}
+
+// TestSpaceSavingListMergeMatchesHeap feeds identical streams to the
+// list and heap variants and checks the merged top counters agree —
+// the two implementations realize the same summary.
+func TestSpaceSavingListMergeMatchesHeap(t *testing.T) {
+	const k = 48
+	sa, _ := zipfStreamExact(40_000, 2048, 7)
+	sb, _ := zipfStreamExact(40_000, 2048, 8)
+	ha, hb := NewSpaceSavingHeap[int](k), NewSpaceSavingHeap[int](k)
+	la, lb := NewSpaceSavingList[int](k), NewSpaceSavingList[int](k)
+	for _, it := range sa {
+		ha.Observe(it, 1)
+		la.Observe(it, 1)
+	}
+	for _, it := range sb {
+		hb.Observe(it, 1)
+		lb.Observe(it, 1)
+	}
+	ha.Merge(hb)
+	la.Merge(lb)
+	if ha.Len() != la.Len() {
+		t.Fatalf("sizes differ: heap %d list %d", ha.Len(), la.Len())
+	}
+	for _, e := range ha.Entries() {
+		got, ok := la.Count(e.Item)
+		if !ok {
+			// The variants may disagree only on ties at the cut.
+			if e.Count > la.minCount()+1e-9 {
+				t.Errorf("item %d (count %v) in heap merge but not list merge", e.Item, e.Count)
+			}
+			continue
+		}
+		if math.Abs(got-e.Count) > 1e-9 {
+			t.Errorf("item %d: heap %v list %v", e.Item, e.Count, got)
+		}
+	}
+}
+
+// TestSpaceSavingListMergeOrderInsensitive mirrors the AMC symmetry
+// law for the list variant.
+func TestSpaceSavingListMergeOrderInsensitive(t *testing.T) {
+	sa, _ := zipfStreamExact(30_000, 1024, 9)
+	sb, _ := zipfStreamExact(30_000, 1024, 10)
+	mk := func(stream []int) *SpaceSavingList[int] {
+		s := NewSpaceSavingList[int](4096) // large: no eviction, no ties at cut
+		for _, it := range stream {
+			s.Observe(it, 1)
+		}
+		return s
+	}
+	ab := mk(sa)
+	ab.Merge(mk(sb))
+	ba := mk(sb)
+	ba.Merge(mk(sa))
+	if ab.Len() != ba.Len() {
+		t.Fatalf("sizes differ: %d vs %d", ab.Len(), ba.Len())
+	}
+	for _, e := range ab.Entries() {
+		got, ok := ba.Count(e.Item)
+		if !ok || math.Abs(got-e.Count) > 1e-9 {
+			t.Errorf("item %d: A∪B=%v B∪A=%v (ok=%v)", e.Item, e.Count, got, ok)
+		}
+	}
+}
+
+// TestAMCCloneIndependent ensures clones share no state.
+func TestAMCCloneIndependent(t *testing.T) {
+	a := NewAMC[int](16, 0.1)
+	for i := 0; i < 10; i++ {
+		a.Observe(i, float64(i+1))
+	}
+	c := a.Clone()
+	a.Observe(99, 5)
+	a.Decay()
+	if _, ok := c.Count(99); ok {
+		t.Error("clone observed writes to original")
+	}
+	if v, _ := c.Count(9); v != 10 {
+		t.Errorf("clone count mutated: %v", v)
+	}
+}
