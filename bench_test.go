@@ -12,6 +12,7 @@ package macrobase
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
 
 	"macrobase/internal/baselines"
@@ -174,6 +175,12 @@ func BenchmarkFig6Sketches(b *testing.B) {
 	for _, size := range []int{100, 10_000} {
 		b.Run(fmt.Sprintf("amc/%d", size), func(b *testing.B) {
 			s := sketch.NewAMC[int32](size, 0.01).WithMaintenanceEvery(10_000)
+			for i := 0; i < b.N; i++ {
+				s.Observe(stream[i%len(stream)], 1)
+			}
+		})
+		b.Run(fmt.Sprintf("damc/%d", size), func(b *testing.B) {
+			s := sketch.NewDenseAMC(size, 0.01).WithMaintenanceEvery(10_000)
 			for i := 0; i < b.N; i++ {
 				s.Observe(stream[i%len(stream)], 1)
 			}
@@ -359,15 +366,16 @@ func BenchmarkMCPSvsCPS(b *testing.B) {
 				tree.Insert(pts[j].Attrs, 1)
 				if (j+1)%10_000 == 0 {
 					if mcps {
-						freq := make(map[int32]float64)
+						freqItems, freqCounts := []int32{}, []float64{}
 						amc.ForEach(func(item int32, c float64) {
 							if c >= 10 {
-								freq[item] = c
+								freqItems = append(freqItems, item)
+								freqCounts = append(freqCounts, c)
 							}
 						})
-						tree.Restructure(freq, 0.99)
+						tree.Restructure(freqItems, freqCounts, 0.99)
 					} else {
-						tree.Restructure(nil, 0.99)
+						tree.Restructure(nil, nil, 0.99)
 					}
 				}
 			}
@@ -409,6 +417,78 @@ func BenchmarkKNNBaseline(b *testing.B) {
 	b.Run("mcd-score", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			mcdEst.Score(uni[i%len(uni)])
+		}
+	})
+}
+
+// --- Streaming explainer hot path --------------------------------------
+
+// benchStreamLabeled builds a deterministic labeled stream (top-3% of
+// metric[0] are outliers) so the explainer benchmarks exercise no
+// trainable classifier.
+func benchStreamLabeled(b *testing.B, name string, n int) []core.LabeledPoint {
+	b.Helper()
+	pts := benchDatasetPoints(b, name, false, n)
+	scores := make([]float64, len(pts))
+	for i := range pts {
+		scores[i] = pts[i].Metrics[0]
+	}
+	sort.Float64s(scores)
+	cut := scores[int(float64(len(scores))*0.97)]
+	labeled := make([]core.LabeledPoint, len(pts))
+	for i := range pts {
+		label := core.Inlier
+		if pts[i].Metrics[0] > cut {
+			label = core.Outlier
+		}
+		labeled[i] = core.LabeledPoint{Point: pts[i], Score: pts[i].Metrics[0], Label: label}
+	}
+	return labeled
+}
+
+// BenchmarkStreamingExplain measures the per-point explanation hot
+// path (Figure 6 / §5.3 regime): consume covers AMC observes + M-CPS
+// inserts with periodic decay/restructure ticks folded in; poll covers
+// the serving path (clone + merge + mine + rank); clone isolates the
+// snapshot cost a sharded poll pays per shard.
+func BenchmarkStreamingExplain(b *testing.B) {
+	labeled := benchStreamLabeled(b, "CMT", 100_000)
+	const batchSize = 1024
+	var batches [][]core.LabeledPoint
+	for i := 0; i < len(labeled); i += batchSize {
+		end := i + batchSize
+		if end > len(labeled) {
+			end = len(labeled)
+		}
+		batches = append(batches, labeled[i:end])
+	}
+	cfg := explain.StreamingConfig{MinSupport: 0.005, MinRiskRatio: 1.2, DecayRate: 0.05}
+	b.Run("consume", func(b *testing.B) {
+		s := explain.NewStreaming(cfg)
+		b.SetBytes(batchSize)
+		for i := 0; i < b.N; i++ {
+			s.Consume(batches[i%len(batches)])
+			if (i+1)%64 == 0 {
+				s.Decay()
+			}
+		}
+	})
+	warm := explain.NewStreaming(cfg)
+	for i, bt := range batches {
+		warm.Consume(bt)
+		if (i+1)%64 == 0 {
+			warm.Decay()
+		}
+	}
+	b.Run("clone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			warm.Clone()
+		}
+	})
+	b.Run("poll", func(b *testing.B) {
+		other := warm.Clone()
+		for i := 0; i < b.N; i++ {
+			explain.MergeStreaming([]*explain.Streaming{warm, other})
 		}
 	})
 }

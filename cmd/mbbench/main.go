@@ -9,23 +9,49 @@
 //	mbbench -run fig3,fig6 -scale 0.05
 //	mbbench -run all -scale 0.05
 //	mbbench -run quick -scale 0.02   # skips the heavy experiments
+//	mbbench -run fig6,mcps -json results.json   # machine-readable copy
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"macrobase/internal/experiments"
 )
 
+// jsonReport is the machine-readable result envelope written by -json:
+// one entry per experiment with its tables verbatim, plus enough
+// environment metadata to compare runs across commits. CI uploads it
+// as an artifact so the perf trajectory accumulates.
+type jsonReport struct {
+	Schema      string           `json:"schema"` // "mbbench/v1"
+	Scale       float64          `json:"scale"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	StartedAt   string           `json:"started_at"` // RFC 3339
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      string               `json:"id"`
+	Name    string               `json:"name"`
+	Seconds float64              `json:"seconds"`
+	Tables  []*experiments.Table `json:"tables"`
+}
+
 func main() {
 	var (
-		run   = flag.String("run", "quick", "comma-separated experiment ids, or 'all' / 'quick'")
-		scale = flag.Float64("scale", 0.02, "dataset scale factor relative to the paper's sizes")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "quick", "comma-separated experiment ids, or 'all' / 'quick'")
+		scale    = flag.Float64("scale", 0.02, "dataset scale factor relative to the paper's sizes")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
 
@@ -61,6 +87,15 @@ func main() {
 		}
 	}
 
+	report := jsonReport{
+		Schema:    "mbbench/v1",
+		Scale:     *scale,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+	}
 	fmt.Printf("macrobase-go reproduction harness: %d experiment(s), scale %.3f\n\n", len(selected), *scale)
 	for _, e := range selected {
 		fmt.Printf("### %s — %s\n", e.ID, e.Name)
@@ -69,6 +104,23 @@ func main() {
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
-		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, secs)
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: e.ID, Name: e.Name, Seconds: secs, Tables: tables,
+		})
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

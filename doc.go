@@ -44,4 +44,45 @@
 // extra shards only fragment the training samples. Benchmark with
 // BenchmarkShardedStream (bench_test.go), which sweeps P from 1 to
 // GOMAXPROCS on the streaming MDP workload.
+//
+// # Flat-arena explanation structures
+//
+// The paper's headline throughput comes from keeping the per-point
+// path cheap: attributes are interned to integer ids at ingest
+// (encode.Encoder) and every explanation structure then operates on
+// machine integers. This repo takes the next step and keeps that path
+// allocation-free and cache-resident:
+//
+//   - Node arenas. cps.Tree (M-CPS/CPS) and fptree.Tree store nodes in
+//     one contiguous slab ([]node addressed by int32 indexes) in
+//     first-child/next-sibling layout, with per-item node-link chains
+//     as int32 indexes too. Child lookup at the root — where fan-out
+//     is largest — is a dense rank-indexed table; deeper levels use
+//     short sibling scans. Decay is a linear sweep over the slab, and
+//     Clone (the cost of every sharded-poll snapshot) is a handful of
+//     slab memcpys instead of a path-by-path rebuild.
+//
+//   - Dense id tables. Per-item rank, header, frequent-filter, and
+//     sketch tables are flat slices indexed directly by attribute id.
+//     This relies on a load-bearing invariant: encode.Encoder issues
+//     ids densely from zero, so an id doubles as an array index.
+//     Components that accept ids from outside the encoder must either
+//     preserve density or use the map-backed generic forms
+//     (sketch.AMC[K]); sketch.DenseAMC is the slice-backed fast path
+//     with identical decay/prune/merge semantics. Negative ids are
+//     ignored everywhere.
+//
+//   - Allocation-free steady state. Tree inserts, DenseAMC observes,
+//     and classify.Streaming.ClassifyBatch allocate nothing once warm
+//     (guarded by testing.AllocsPerRun regression tests): transaction
+//     sorting is insertion sort over reusable scratch rather than
+//     sort.Slice closures, window-boundary restructures reuse
+//     flattened path-extraction buffers, and reservoir admission is
+//     gated (sample.ADR.OfferSlot) so the rare admitted point copies
+//     into — and recycles the backing array of — the displaced
+//     resident.
+//
+// Output equivalence with the pre-arena structures is pinned by golden
+// tests (internal/explain/testdata): ranked explanations, sequential
+// and sharded-merge alike, are unchanged on the paper workloads.
 package macrobase

@@ -271,3 +271,37 @@ func TestStreamingDriftCorrection(t *testing.T) {
 		t.Errorf("post-drift outlier rate = %.3f", rate)
 	}
 }
+
+// TestClassifyBatchZeroAlloc pins the allocation-free per-point hot
+// path: once the model is trained, the reservoirs are full, and the
+// destination buffer has capacity, classifying a batch must not touch
+// the allocator — reservoir admissions recycle the displaced
+// resident's metric buffer instead of copying per point.
+func TestClassifyBatchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	s := NewStreaming(StreamingConfig{
+		Dims: 1, ReservoirSize: 256, ScoreReservoirSize: 256,
+		WarmupPoints: 256, RetrainEvery: 1 << 30, DriftZ: -1, Seed: 3,
+	}, nil)
+	batch := make([]core.Point, 512)
+	metrics := make([]float64, len(batch))
+	for i := range batch {
+		metrics[i] = rng.NormFloat64()
+		batch[i] = core.Point{Metrics: metrics[i : i+1]}
+	}
+	dst := make([]core.LabeledPoint, 0, len(batch))
+	// Warm up: train the model, fill both reservoirs, and let every
+	// reservoir slot's backing buffer reach its steady-state capacity.
+	for i := 0; i < 20; i++ {
+		dst = s.ClassifyBatch(dst[:0], batch)
+	}
+	if s.Model() == nil {
+		t.Fatal("model not trained after warmup")
+	}
+	n := testing.AllocsPerRun(50, func() {
+		dst = s.ClassifyBatch(dst[:0], batch)
+	})
+	if n != 0 {
+		t.Fatalf("ClassifyBatch allocates %v allocs/run, want 0", n)
+	}
+}

@@ -131,11 +131,13 @@ func (s *Streaming) ClassifyBatch(dst []core.LabeledPoint, batch []core.Point) [
 	for i := range batch {
 		p := &batch[i]
 		m := p.Metrics
-		s.inputRes.ObserveLazy(func() []float64 {
-			cp := make([]float64, len(m))
-			copy(cp, m)
-			return cp
-		}, 1)
+		// Admission-gated copy: only the rare admitted point is copied
+		// into the reservoir, reusing the displaced resident's backing
+		// array, so the per-point path never touches the allocator.
+		if slot, ok := s.inputRes.OfferSlot(1); ok {
+			items := s.inputRes.Items()
+			items[slot] = append(items[slot][:0], m...)
+		}
 		s.sinceTrain++
 
 		if s.model == nil {

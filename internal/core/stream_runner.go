@@ -185,6 +185,11 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	ingested := 0
 	var ingestErr error
 	var routes []int32
+	// Per-batch routing scratch: only the sub-batches themselves are
+	// freshly allocated (their ownership transfers to the workers); the
+	// routing tables are reused across batches.
+	sizes := make([]int, shards)
+	subs := make([][]Point, shards)
 	stopped := false
 	for {
 		if r.Stop != nil && r.Stop(ingested) {
@@ -216,14 +221,16 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 			routes = make([]int32, len(pts))
 		}
 		routes = routes[:len(pts)]
-		sizes := make([]int, shards)
+		for s := range sizes {
+			sizes[s] = 0
+		}
 		for i := range pts {
 			s := partition(&pts[i], shards)
 			routes[i] = int32(s)
 			sizes[s]++
 		}
-		subs := make([][]Point, shards)
 		for s := range subs {
+			subs[s] = nil
 			if sizes[s] > 0 {
 				subs[s] = make([]Point, 0, sizes[s])
 			}

@@ -5,12 +5,29 @@
 // and the original CPS-tree (Tanbeer et al.) baseline, which stores a
 // node for every item ever observed and which Appendix D measures to
 // be on average 130x slower.
+//
+// The tree is flat: nodes live in a single arena slab (itemtree.Arena,
+// first-child/next-sibling layout addressed by int32 indexes) and the
+// per-item rank, header, and allowed tables are dense slices indexed
+// directly by attribute id. Attribute ids are dense by construction of
+// encode.Encoder — that density is load-bearing; see the package
+// documentation at the repository root. Negative ids are ignored.
+// Steady-state inserts touch no allocator: the arena grows only when a
+// genuinely new prefix node appears, and all traversal scratch is owned
+// by the tree and reused.
+//
+// Because query-style methods (Mine, ItemsetSupport, ForEachPath, and
+// the read side of Merge) also run over that reusable scratch, a Tree
+// is not safe for concurrent use — not even for concurrent reads.
+// Confine each tree to one goroutine or clone it (Clone is a slab
+// memcpy, which is what the sharded engine's snapshot protocol does).
 package cps
 
 import (
-	"sort"
+	"slices"
 
 	"macrobase/internal/fptree"
+	"macrobase/internal/itemtree"
 )
 
 // Tree is a decayed, restructurable prefix tree of attribute
@@ -20,29 +37,30 @@ import (
 // baseline: every item is inserted and none are pruned.
 type Tree struct {
 	trackAll bool
-	root     *node
-	headers  map[int32]*header
-	order    []int32
-	rank     map[int32]int
-	// allowed is the frequent-item filter for M-CPS inserts; nil
-	// accepts everything (always nil for CPS, and for M-CPS before
-	// the first window boundary).
-	allowed map[int32]bool
-	scratch []int32
-}
+	arena    itemtree.Arena
+	order    []int32 // rank -> item id (frequency-descending)
+	rank     []int32 // item id -> rank, -1 when absent
+	// allowed is the frequent-item filter for M-CPS inserts, dense by
+	// id; nil accepts everything (always nil for CPS, and for M-CPS
+	// before the first window boundary and after keep-all
+	// restructures).
+	allowed []bool
 
-type node struct {
-	item     int32
-	count    float64
-	parent   *node
-	children map[int32]*node
-	next     *node
-}
-
-type header struct {
-	count float64
-	head  *node
-	tail  *node
+	// Reusable scratch. itemScratch holds the filtered, rank-sorted
+	// transaction during Insert; path* hold the flattened (path,
+	// weight) extraction used by Restructure/Mine/Merge/ForEachPath;
+	// pathSlices re-slices pathItems for fptree.Build; queryScratch
+	// serves ItemsetSupport; countByID orders restructures without a
+	// map.
+	itemScratch  []int32
+	pathItems    []int32
+	pathOffs     []int32 // len(paths)+1 offsets into pathItems
+	pathW        []float64
+	pathSlices   [][]int32
+	queryScratch []int32
+	countByID    []float64
+	freqItems    []int32 // keep-all restructure staging
+	freqCounts   []float64
 }
 
 // NewMCPS returns an M-CPS-tree.
@@ -52,252 +70,247 @@ func NewMCPS() *Tree { return newTree(false) }
 func NewCPS() *Tree { return newTree(true) }
 
 func newTree(trackAll bool) *Tree {
-	return &Tree{
-		trackAll: trackAll,
-		root:     &node{children: make(map[int32]*node)},
-		headers:  make(map[int32]*header),
-		rank:     make(map[int32]int),
+	t := &Tree{trackAll: trackAll}
+	t.arena.Init()
+	return t
+}
+
+// rankOf returns the item's rank or -1.
+func (t *Tree) rankOf(it int32) int32 {
+	if it < 0 || int(it) >= len(t.rank) {
+		return -1
 	}
+	return t.rank[it]
+}
+
+// ensureItem registers it (appending it to the current order, where it
+// sorts last until the next restructure) and returns its rank.
+func (t *Tree) ensureItem(it int32) int32 {
+	if r := t.rankOf(it); r >= 0 {
+		return r
+	}
+	for int(it) >= len(t.rank) {
+		t.rank = append(t.rank, -1)
+	}
+	r := int32(len(t.order))
+	t.rank[it] = r
+	t.order = append(t.order, it)
+	t.arena.AddRank(itemtree.Header{})
+	return r
 }
 
 // Insert adds one transaction of distinct attribute ids with weight w.
 // Items outside the allowed set are dropped (M-CPS); unseen items are
 // appended to the current order (they sort last until the next
-// restructure).
+// restructure). Negative ids are ignored.
 func (t *Tree) Insert(attrs []int32, w float64) {
-	items := t.scratch[:0]
+	items := t.itemScratch[:0]
 	for _, it := range attrs {
-		if t.allowed != nil && !t.allowed[it] {
+		if it < 0 {
+			continue
+		}
+		if t.allowed != nil && (int(it) >= len(t.allowed) || !t.allowed[it]) {
 			continue
 		}
 		items = append(items, it)
 	}
+	t.itemScratch = items
 	if len(items) == 0 {
-		t.scratch = items
 		return
 	}
 	for _, it := range items {
-		if _, ok := t.rank[it]; !ok {
-			t.rank[it] = len(t.order)
-			t.order = append(t.order, it)
-			t.headers[it] = &header{}
-		}
+		t.ensureItem(it)
 	}
-	rank := t.rank
-	sort.Slice(items, func(i, j int) bool { return rank[items[i]] < rank[items[j]] })
-	t.scratch = items
-	cur := t.root
+	itemtree.SortByRank(items, t.rank)
+	t.arena.InsertSorted(items, t.rank, w)
 	for _, it := range items {
-		child, ok := cur.children[it]
-		if !ok {
-			child = &node{item: it, parent: cur, children: make(map[int32]*node)}
-			cur.children[it] = child
-			h := t.headers[it]
-			if h.tail == nil {
-				h.head, h.tail = child, child
-			} else {
-				h.tail.next = child
-				h.tail = child
-			}
-		}
-		child.count += w
-		cur = child
-	}
-	for _, it := range items {
-		t.headers[it].count += w
+		t.arena.Headers[t.rank[it]].Count += w
 	}
 }
 
 // ItemCount returns the decayed weight of transactions containing
 // item.
 func (t *Tree) ItemCount(item int32) float64 {
-	h, ok := t.headers[item]
-	if !ok {
+	r := t.rankOf(item)
+	if r < 0 {
 		return 0
 	}
-	return h.count
+	return t.arena.Headers[r].Count
 }
 
 // NumItems reports how many distinct items the tree currently stores.
-func (t *Tree) NumItems() int { return len(t.headers) }
+func (t *Tree) NumItems() int { return len(t.order) }
 
 // NumNodes reports the number of tree nodes (excluding the root).
-func (t *Tree) NumNodes() int {
-	var walk func(n *node) int
-	walk = func(n *node) int {
-		c := 0
-		for _, ch := range n.children {
-			c += 1 + walk(ch)
+func (t *Tree) NumNodes() int { return t.arena.NumNodes() }
+
+// extractPaths materializes the tree's transactions as flattened
+// (path, weight) records in the tree's reusable path buffers, using
+// terminal counts: a node whose count exceeds the sum of its children's
+// counts terminates that many transactions. pathOffs carries
+// len(paths)+1 offsets into pathItems.
+func (t *Tree) extractPaths() {
+	const eps = 1e-12
+	nodes := t.arena.Nodes
+	t.pathItems = t.pathItems[:0]
+	t.pathOffs = append(t.pathOffs[:0], 0)
+	t.pathW = t.pathW[:0]
+	for i := 1; i < len(nodes); i++ {
+		n := &nodes[i]
+		childSum := 0.0
+		for c := n.First; c != itemtree.NilIdx; c = nodes[c].Next {
+			childSum += nodes[c].Count
 		}
-		return c
+		term := n.Count - childSum
+		if term <= eps {
+			continue
+		}
+		start := len(t.pathItems)
+		for p := int32(i); p != itemtree.NilIdx; p = nodes[p].Parent {
+			t.pathItems = append(t.pathItems, nodes[p].Item)
+		}
+		// Reverse into root-first order.
+		for a, b := start, len(t.pathItems)-1; a < b; a, b = a+1, b-1 {
+			t.pathItems[a], t.pathItems[b] = t.pathItems[b], t.pathItems[a]
+		}
+		t.pathOffs = append(t.pathOffs, int32(len(t.pathItems)))
+		t.pathW = append(t.pathW, term)
 	}
-	return walk(t.root)
 }
 
-// weightedPaths extracts the tree's transactions as (path, weight)
-// pairs using terminal counts: a node whose count exceeds the sum of
-// its children's counts terminates that many transactions.
-func (t *Tree) weightedPaths() (paths [][]int32, weights []float64) {
-	const eps = 1e-12
-	var stack []int32
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.item >= 0 || n.parent != nil {
-			stack = append(stack, n.item)
-		}
-		childSum := 0.0
-		for _, ch := range n.children {
-			childSum += ch.count
-		}
-		if n.parent != nil {
-			if term := n.count - childSum; term > eps {
-				p := make([]int32, len(stack))
-				copy(p, stack)
-				paths = append(paths, p)
-				weights = append(weights, term)
-			}
-		}
-		for _, ch := range n.children {
-			walk(ch)
-		}
-		if n.parent != nil {
-			stack = stack[:len(stack)-1]
-		}
-	}
-	for _, ch := range t.root.children {
-		walk(ch)
-	}
-	return paths, weights
+// numPaths returns the number of extracted paths.
+func (t *Tree) numPaths() int { return len(t.pathW) }
+
+// path returns the i'th extracted path (valid until the next
+// extraction or structural change).
+func (t *Tree) path(i int) []int32 {
+	return t.pathItems[t.pathOffs[i]:t.pathOffs[i+1]]
 }
 
 // Restructure performs the window-boundary maintenance of the
 // M-CPS-tree (paper Appendix B): decay every count by retain, drop
 // items no longer frequent, and re-sort the tree into the new
-// frequency-descending order. frequent maps the next window's allowed
-// items to their (sketch) counts, which define the new order; a nil
-// map keeps every currently stored item (the CPS-tree baseline, which
-// re-sorts by its own decayed counts and prunes nothing).
-func (t *Tree) Restructure(frequent map[int32]float64, retain float64) {
+// frequency-descending order. items/counts are parallel slices naming
+// the next window's allowed items (distinct, non-negative ids) and the
+// (sketch) counts that define the new order; a nil items slice keeps
+// every currently stored item (the CPS-tree baseline, which re-sorts by
+// its own decayed counts and prunes nothing) and clears any M-CPS
+// insert filter. Steady-state restructures reuse the tree's scratch
+// and allocate nothing.
+func (t *Tree) Restructure(items []int32, counts []float64, retain float64) {
 	// Decay in place first so extracted path weights are decayed.
-	t.decay(retain)
-	paths, weights := t.weightedPaths()
+	t.arena.Decay(retain)
+	t.extractPaths()
 
-	var orderCounts map[int32]float64
-	if frequent != nil {
-		orderCounts = frequent
-	} else {
-		orderCounts = make(map[int32]float64, len(t.headers))
-		for it, h := range t.headers {
-			orderCounts[it] = h.count
+	keepAll := items == nil
+	if keepAll {
+		// Keep-all: order by the tree's own decayed header counts.
+		t.freqItems = append(t.freqItems[:0], t.order...)
+		t.freqCounts = t.freqCounts[:0]
+		for r := range t.order {
+			t.freqCounts = append(t.freqCounts, t.arena.Headers[r].Count)
 		}
+		items, counts = t.freqItems, t.freqCounts
 	}
 
-	// Reset structure.
-	t.root = &node{children: make(map[int32]*node)}
-	t.headers = make(map[int32]*header, len(orderCounts))
+	// Reset structure: clear old ranks, truncate the arena to the root.
+	for _, it := range t.order {
+		t.rank[it] = -1
+	}
+	t.arena.Reset()
 	t.order = t.order[:0]
-	t.rank = make(map[int32]int, len(orderCounts))
-	for it := range orderCounts {
-		t.order = append(t.order, it)
-		t.headers[it] = &header{}
-	}
-	sort.Slice(t.order, func(i, j int) bool {
-		a, b := t.order[i], t.order[j]
-		ca, cb := orderCounts[a], orderCounts[b]
-		if ca != cb {
-			return ca > cb
+
+	// Stage the new order: countByID carries each item's ordering key
+	// so the sort needs no map; rank doubles as a presence marker to
+	// drop duplicate items defensively.
+	for i, it := range items {
+		if it < 0 {
+			continue
 		}
-		return a < b
+		for int(it) >= len(t.rank) {
+			t.rank = append(t.rank, -1)
+		}
+		for int(it) >= len(t.countByID) {
+			t.countByID = append(t.countByID, 0)
+		}
+		if t.rank[it] != -1 {
+			continue // duplicate
+		}
+		t.rank[it] = 0 // presence marker, overwritten below
+		t.countByID[it] = counts[i]
+		t.order = append(t.order, it)
+	}
+	byID := t.countByID
+	slices.SortFunc(t.order, func(a, b int32) int {
+		ca, cb := byID[a], byID[b]
+		switch {
+		case ca > cb:
+			return -1
+		case ca < cb:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
 	})
 	for i, it := range t.order {
-		t.rank[it] = i
+		t.rank[it] = int32(i)
+		t.arena.AddRank(itemtree.Header{})
 	}
-	if frequent != nil && !t.trackAll {
-		t.allowed = make(map[int32]bool, len(frequent))
-		for it := range frequent {
+
+	if t.trackAll || keepAll {
+		// CPS never filters; a keep-all restructure of an M-CPS tree
+		// likewise leaves the tree open to genuinely new items (the
+		// filter returns with the next explicit frequent set).
+		t.allowed = nil
+	} else {
+		// M-CPS: only the new frequent set is insertable. The filter
+		// also restricts the rebuild below, so pruned items vanish.
+		t.allowed = t.allowed[:0]
+		for len(t.allowed) < len(t.rank) {
+			t.allowed = append(t.allowed, false)
+		}
+		for _, it := range t.order {
 			t.allowed[it] = true
 		}
-	} else {
-		t.allowed = nil
 	}
 
 	// Re-insert extracted transactions under the new order; items
-	// outside the new set are dropped by Insert's filter. The
-	// temporary allowed set also filters CPS rebuilds correctly
-	// because it contains every stored item.
-	restrict := t.allowed
-	for i, p := range paths {
-		if restrict != nil {
-			t.insertFiltered(p, weights[i], restrict)
-		} else {
-			t.Insert(p, weights[i])
-		}
-	}
-}
-
-// insertFiltered is Insert with an explicit allowed set (used during
-// rebuild so dropped items vanish).
-func (t *Tree) insertFiltered(attrs []int32, w float64, allowed map[int32]bool) {
-	saved := t.allowed
-	t.allowed = allowed
-	t.Insert(attrs, w)
-	t.allowed = saved
-}
-
-// decay multiplies every node and header count by retain.
-func (t *Tree) decay(retain float64) {
-	var walk func(n *node)
-	walk = func(n *node) {
-		n.count *= retain
-		for _, ch := range n.children {
-			walk(ch)
-		}
-	}
-	for _, ch := range t.root.children {
-		walk(ch)
-	}
-	for _, h := range t.headers {
-		h.count *= retain
+	// outside the new set are dropped by Insert's filter.
+	for i := 0; i < t.numPaths(); i++ {
+		t.Insert(t.path(i), t.pathW[i])
 	}
 }
 
 // Mine replays the tree's weighted paths through an FP-tree and runs
 // FPGrowth, returning itemsets with decayed count >= minCount.
 func (t *Tree) Mine(minCount float64, maxItems int) []fptree.Itemset {
-	paths, weights := t.weightedPaths()
-	return fptree.Build(paths, weights, minCount).Mine(minCount, maxItems)
+	t.extractPaths()
+	t.pathSlices = t.pathSlices[:0]
+	for i := 0; i < t.numPaths(); i++ {
+		t.pathSlices = append(t.pathSlices, t.path(i))
+	}
+	return fptree.Build(t.pathSlices, t.pathW, minCount).Mine(minCount, maxItems)
 }
 
 // ItemsetSupport returns the decayed weight of transactions containing
 // every item in items, walking the node-links of the deepest-ranked
-// member (same traversal as fptree.Tree.ItemsetSupport).
+// member (the same itemtree.Support traversal fptree uses).
 func (t *Tree) ItemsetSupport(items []int32) float64 {
 	if len(items) == 0 {
 		return 0
 	}
-	q := make([]int32, len(items))
-	copy(q, items)
+	q := append(t.queryScratch[:0], items...)
+	t.queryScratch = q
 	for _, it := range q {
-		if _, ok := t.rank[it]; !ok {
+		if t.rankOf(it) < 0 {
 			return 0
 		}
 	}
-	rank := t.rank
-	sort.Slice(q, func(i, j int) bool { return rank[q[i]] > rank[q[j]] })
-	h := t.headers[q[0]]
-	total := 0.0
-	for n := h.head; n != nil; n = n.next {
-		need := 1
-		for p := n.parent; p != nil && p.parent != nil && need < len(q); p = p.parent {
-			if p.item == q[need] {
-				need++
-			}
-		}
-		if need == len(q) {
-			total += n.count
-		}
-	}
-	return total
+	itemtree.SortByRankDesc(q, t.rank)
+	return t.arena.Support(q, t.rank)
 }
 
 // ForEachPath visits the tree's stored transactions as (items, weight)
@@ -305,9 +318,9 @@ func (t *Tree) ItemsetSupport(items []int32) float64 {
 // into an empty tree reproduces this tree's counts. The items slice is
 // only valid for the duration of the call.
 func (t *Tree) ForEachPath(f func(items []int32, weight float64)) {
-	paths, weights := t.weightedPaths()
-	for i := range paths {
-		f(paths[i], weights[i])
+	t.extractPaths()
+	for i := 0; i < t.numPaths(); i++ {
+		f(t.path(i), t.pathW[i])
 	}
 }
 
@@ -322,8 +335,13 @@ func (t *Tree) Merge(src *Tree) {
 		if src.allowed == nil {
 			t.allowed = nil
 		} else {
-			for it := range src.allowed {
-				t.allowed[it] = true
+			for len(t.allowed) < len(src.allowed) {
+				t.allowed = append(t.allowed, false)
+			}
+			for it, ok := range src.allowed {
+				if ok {
+					t.allowed[it] = true
+				}
 			}
 		}
 	}
@@ -335,25 +353,17 @@ func (t *Tree) Merge(src *Tree) {
 	t.allowed = saved
 }
 
-// Clone returns a deep copy of the tree: same item order, allowed set,
-// and transaction weights, sharing no nodes with the receiver.
+// Clone returns a deep copy of the tree: with the arena layout this is
+// a handful of slab copies — no path replay — so the sharded engine's
+// per-poll snapshots cost a memcpy, not a rebuild. Counts, item order,
+// and node identity are preserved exactly.
 func (t *Tree) Clone() *Tree {
-	c := newTree(t.trackAll)
-	c.order = append(c.order, t.order...)
-	for it, r := range t.rank {
-		c.rank[it] = r
+	c := &Tree{
+		trackAll: t.trackAll,
+		order:    slices.Clone(t.order),
+		rank:     slices.Clone(t.rank),
+		allowed:  slices.Clone(t.allowed),
 	}
-	for it := range t.headers {
-		c.headers[it] = &header{}
-	}
-	if t.allowed != nil {
-		c.allowed = make(map[int32]bool, len(t.allowed))
-		for it := range t.allowed {
-			c.allowed[it] = true
-		}
-	}
-	t.ForEachPath(func(items []int32, w float64) {
-		c.Insert(items, w)
-	})
+	t.arena.CloneInto(&c.arena)
 	return c
 }

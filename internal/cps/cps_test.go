@@ -17,6 +17,21 @@ func key(items []int32) string {
 	return fmt.Sprint(cp)
 }
 
+// flat converts a count map to the parallel-slice form Restructure
+// takes, in deterministic id order.
+func flat(m map[int32]float64) ([]int32, []float64) {
+	items := make([]int32, 0, len(m))
+	for it := range m {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	counts := make([]float64, len(items))
+	for i, it := range items {
+		counts[i] = m[it]
+	}
+	return items, counts
+}
+
 func randomTxs(rng *rand.Rand, nTx, universe, maxLen int) [][]int32 {
 	txs := make([][]int32, nTx)
 	for i := range txs {
@@ -74,7 +89,8 @@ func TestRestructurePreservesCounts(t *testing.T) {
 	for _, is := range tree.Mine(1, 0) {
 		before[key(is.Items)] = is.Count
 	}
-	tree.Restructure(counts, 1)
+	items, cs := flat(counts)
+	tree.Restructure(items, cs, 1)
 	after := map[string]float64{}
 	for _, is := range tree.Mine(1, 0) {
 		after[key(is.Items)] = is.Count
@@ -101,7 +117,7 @@ func TestRestructureDecaysAndPrunes(t *testing.T) {
 		t.Fatalf("ItemCount(1) = %v", got)
 	}
 	// Keep only items 1 and 2; halve counts.
-	tree.Restructure(map[int32]float64{1: 5, 2: 5}, 0.5)
+	tree.Restructure([]int32{1, 2}, []float64{5, 5}, 0.5)
 	if got := tree.ItemCount(1); math.Abs(got-5) > 1e-9 {
 		t.Errorf("decayed ItemCount(1) = %v, want 5", got)
 	}
@@ -129,7 +145,7 @@ func TestCPSKeepsEverything(t *testing.T) {
 	tree.Insert([]int32{3}, 1)
 	// CPS restructure: nil frequent set = keep all, reorder by own
 	// counts.
-	tree.Restructure(nil, 1)
+	tree.Restructure(nil, nil, 1)
 	if tree.NumItems() != 3 {
 		t.Errorf("CPS NumItems = %d, want 3", tree.NumItems())
 	}
@@ -154,7 +170,8 @@ func TestRestructureMidStreamStaysExact(t *testing.T) {
 		}
 	}
 	// Restructure keeping all items, no decay, then continue.
-	tree.Restructure(counts, 1)
+	items, cs := flat(counts)
+	tree.Restructure(items, cs, 1)
 	for _, tx := range txsB {
 		tree.Insert(tx, 1)
 	}
@@ -275,12 +292,81 @@ func TestCloneIndependent(t *testing.T) {
 		before[key(is.Items)] = is.Count
 	}
 	orig.Insert([]int32{0, 1, 2}, 50)
-	orig.Restructure(nil, 0.5)
+	orig.Restructure(nil, nil, 0.5)
 	after := map[string]float64{}
 	for _, is := range c.Mine(1, 0) {
 		after[key(is.Items)] = is.Count
 	}
 	if !reflect.DeepEqual(before, after) {
 		t.Error("clone changed when original was mutated")
+	}
+}
+
+// TestInsertZeroAlloc pins the allocation-free per-point hot path:
+// once a transaction's prefix nodes exist in the arena, re-inserting
+// it must not touch the allocator.
+func TestInsertZeroAlloc(t *testing.T) {
+	tree := NewMCPS()
+	txs := [][]int32{{1, 2, 3}, {1, 2}, {4, 5}, {1, 4, 6}}
+	for _, tx := range txs {
+		tree.Insert(tx, 1)
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		for _, tx := range txs {
+			tree.Insert(tx, 1)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Insert allocates %v allocs/run, want 0", n)
+	}
+}
+
+// TestRestructureSteadyStateZeroAlloc: after the first restructure has
+// sized the scratch buffers, further restructures over the same item
+// universe must allocate nothing.
+func TestRestructureSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	txs := randomTxs(rng, 200, 12, 5)
+	tree := NewMCPS()
+	counts := map[int32]float64{}
+	for _, tx := range txs {
+		tree.Insert(tx, 1)
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	items, cs := flat(counts)
+	tree.Restructure(items, cs, 0.99) // size the scratch
+	for _, tx := range txs {
+		tree.Insert(tx, 1)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		tree.Restructure(items, cs, 0.99)
+		for _, tx := range txs {
+			tree.Insert(tx, 1)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Restructure allocates %v allocs/run, want 0", n)
+	}
+}
+
+// TestKeepAllRestructureLeavesMCPSOpen: a nil (keep-all) restructure
+// of an M-CPS tree must not install the current item set as the
+// allowed filter — genuinely new items stay insertable until the next
+// explicit frequent set arrives.
+func TestKeepAllRestructureLeavesMCPSOpen(t *testing.T) {
+	tree := NewMCPS()
+	tree.Insert([]int32{1}, 1)
+	tree.Restructure(nil, nil, 1)
+	tree.Insert([]int32{2}, 1)
+	if got := tree.ItemCount(2); got != 1 {
+		t.Fatalf("new item dropped after keep-all restructure: ItemCount(2) = %v, want 1", got)
+	}
+	// An explicit frequent set re-installs the filter.
+	tree.Restructure([]int32{1}, []float64{1}, 1)
+	tree.Insert([]int32{2}, 1)
+	if got := tree.ItemCount(2); got != 0 {
+		t.Fatalf("filter not re-installed: ItemCount(2) = %v, want 0", got)
 	}
 }

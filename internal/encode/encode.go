@@ -38,7 +38,11 @@ func NewEncoder(columns ...string) *Encoder {
 func (e *Encoder) Columns() []string { return e.columns }
 
 // Encode interns value for the given attribute column and returns its
-// id. Equal (col, value) pairs always receive equal ids.
+// id. Equal (col, value) pairs always receive equal ids. The
+// already-interned case — the steady state of every ingest loop — is
+// served under the read lock, so concurrent shard ingest does not
+// serialize on the encoder; only genuinely new values pay for the
+// write lock.
 func (e *Encoder) Encode(col int, value string) int32 {
 	k := key{col, value}
 	e.mu.RLock()
@@ -47,12 +51,17 @@ func (e *Encoder) Encode(col int, value string) int32 {
 	if ok {
 		return id
 	}
+	return e.intern(k)
+}
+
+// intern is the write-lock slow path for a probably-new key.
+func (e *Encoder) intern(k key) int32 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if id, ok = e.byKey[k]; ok {
+	if id, ok := e.byKey[k]; ok {
 		return id
 	}
-	id = int32(len(e.keys))
+	id := int32(len(e.keys))
 	e.byKey[k] = id
 	e.keys = append(e.keys, k)
 	return id
@@ -60,9 +69,32 @@ func (e *Encoder) Encode(col int, value string) int32 {
 
 // EncodeAll encodes one value per configured column, in order.
 func (e *Encoder) EncodeAll(values ...string) []int32 {
-	ids := make([]int32, len(values))
+	return e.EncodeInto(make([]int32, len(values)), values)
+}
+
+// EncodeInto encodes one value per configured column into ids (which
+// must have len(values) slots) and returns it. The whole batch is
+// first attempted under a single read lock — one lock round-trip per
+// row instead of one per attribute — and only the missing values fall
+// back to individual interning.
+func (e *Encoder) EncodeInto(ids []int32, values []string) []int32 {
+	missing := false
+	e.mu.RLock()
 	for i, v := range values {
-		ids[i] = e.Encode(i, v)
+		id, ok := e.byKey[key{i, v}]
+		if !ok {
+			id = -1
+			missing = true
+		}
+		ids[i] = id
+	}
+	e.mu.RUnlock()
+	if missing {
+		for i := range values {
+			if ids[i] < 0 {
+				ids[i] = e.intern(key{i, values[i]})
+			}
+		}
 	}
 	return ids
 }

@@ -1,6 +1,7 @@
 package encode
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -102,4 +103,47 @@ func TestEncoderConcurrent(t *testing.T) {
 	if e.Size() != 26 {
 		t.Errorf("size = %d, want 26", e.Size())
 	}
+}
+
+// TestEncodeIntoBatchedReadLock: the batched fast path must agree with
+// per-value Encode, including when some values are new, and must stay
+// correct under concurrent mixed read/write batches.
+func TestEncodeIntoBatchedReadLock(t *testing.T) {
+	e := NewEncoder("a", "b", "c")
+	warm := e.EncodeAll("x", "y", "z")
+	ids := e.EncodeInto(make([]int32, 3), []string{"x", "y", "z"})
+	for i := range warm {
+		if ids[i] != warm[i] {
+			t.Fatalf("EncodeInto[%d] = %d, want %d", i, ids[i], warm[i])
+		}
+	}
+	// Half-hit batch: "x" interned, the rest new.
+	mixed := e.EncodeInto(make([]int32, 3), []string{"x", "new1", "new2"})
+	if mixed[0] != warm[0] {
+		t.Fatalf("hit id changed: %d != %d", mixed[0], warm[0])
+	}
+	if mixed[1] == mixed[2] || mixed[1] < 0 || mixed[2] < 0 {
+		t.Fatalf("misses not interned distinctly: %v", mixed)
+	}
+	if got := e.Encode(1, "new1"); got != mixed[1] {
+		t.Fatalf("Encode(1, new1) = %d, want %d", got, mixed[1])
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]int32, 3)
+			for i := 0; i < 500; i++ {
+				vals := []string{"x", "y", fmt.Sprintf("v%d", i%37)}
+				e.EncodeInto(ids, vals)
+				if e.Decode(ids[2]).Value != vals[2] {
+					t.Errorf("round-trip mismatch for %q", vals[2])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

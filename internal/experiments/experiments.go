@@ -19,12 +19,14 @@ import (
 )
 
 // Table is one reproduced result: a titled grid with named columns.
+// The JSON form feeds cmd/mbbench's -json emitter, which CI archives
+// so the perf trajectory accumulates machine-readable baselines.
 type Table struct {
-	ID      string // e.g. "fig3", "table2"
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   string
+	ID      string     `json:"id"` // e.g. "fig3", "table2"
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   string     `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.

@@ -23,7 +23,7 @@ func MCPSvsCPS(scale float64) []*Table {
 		ID:      "mcps",
 		Title:   "M-CPS-tree vs CPS-tree ingest+restructure time",
 		Columns: []string{"query", "mcps(s)", "cps(s)", "slowdown", "cps_items", "mcps_items"},
-		Notes:   "paper: CPS avg 130x slower, >1000x on Campaign (high cardinality); Accidents only ~1.3-1.7x (9 weather values)",
+		Notes:   "paper: CPS avg 130x slower, >1000x on Campaign (high cardinality); Accidents only ~1.3-1.7x (9 weather values). With the flat-arena trees the gap at small scale is much narrower than the paper's: restructure cost is no longer dominated by per-item map churn, so the CPS penalty (re-sorting every stored item) only re-emerges at paper-scale cardinalities and windows",
 	}
 	for _, name := range []string{"Accidents", "Liquor", "Campaign", "CMT"} {
 		ds, err := gen.DatasetByName(name)
@@ -37,6 +37,8 @@ func MCPSvsCPS(scale float64) []*Table {
 		// identical for both strategies, so it runs off the clock.
 		runTree := func(tree *cps.Tree, mcps bool) (time.Duration, int, bool) {
 			amc := sketch.NewAMC[int32](10_000, 0.01)
+			var freqItems []int32
+			var freqCounts []float64
 			var elapsed time.Duration
 			for i := range pts {
 				for _, a := range pts[i].Attrs {
@@ -45,17 +47,18 @@ func MCPSvsCPS(scale float64) []*Table {
 				elapsed += timeIt(func() { tree.Insert(pts[i].Attrs, 1) })
 				if (i+1)%window == 0 {
 					if mcps {
-						freq := make(map[int32]float64)
+						freqItems, freqCounts = freqItems[:0], freqCounts[:0]
 						minCount := 0.001 * float64(window)
 						amc.ForEach(func(item int32, c float64) {
 							if c >= minCount {
-								freq[item] = c
+								freqItems = append(freqItems, item)
+								freqCounts = append(freqCounts, c)
 							}
 						})
-						elapsed += timeIt(func() { tree.Restructure(freq, 0.99) })
+						elapsed += timeIt(func() { tree.Restructure(freqItems, freqCounts, 0.99) })
 						amc.Decay()
 					} else {
-						elapsed += timeIt(func() { tree.Restructure(nil, 0.99) })
+						elapsed += timeIt(func() { tree.Restructure(nil, nil, 0.99) })
 					}
 					if elapsed > budget {
 						return elapsed, tree.NumItems(), false

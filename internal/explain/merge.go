@@ -59,7 +59,11 @@ func MergeStreaming(shards []*Streaming) []core.Explanation {
 // MergeStreamingInto is MergeStreaming for callers that own shards[0]
 // (e.g. a poll over throwaway snapshot clones): the merge folds the
 // rest into it in place, skipping the defensive deep copy on the
-// serving hot path. shards[1:] are only read.
+// serving hot path. shards[1:] keep their summary state (counts,
+// trees, totals) unchanged, but reading them is not concurrency-safe:
+// the flat-arena trees serve path extraction out of per-tree reusable
+// scratch, so no shard in the slice may be shared with another
+// goroutine during the call.
 func MergeStreamingInto(shards []*Streaming) []core.Explanation {
 	if len(shards) == 0 {
 		return nil

@@ -66,13 +66,20 @@ func (c StreamingConfig) withDefaults() StreamingConfig {
 type Streaming struct {
 	cfg StreamingConfig
 
-	outAttrs *sketch.AMC[int32]
-	inAttrs  *sketch.AMC[int32]
+	outAttrs *sketch.DenseAMC
+	inAttrs  *sketch.DenseAMC
 	outTree  *cps.Tree
 	inTree   *cps.Tree
 
 	totalOut float64
 	totalIn  float64
+
+	// Reusable window-boundary scratch: the frequent-set staging
+	// slices handed to Restructure and the dense qualified bitmap used
+	// by Explanations. Ids are dense, so these are flat, not maps.
+	freqItems  []int32
+	freqCounts []float64
+	qualified  []bool
 }
 
 // NewStreaming returns a streaming explainer.
@@ -80,8 +87,8 @@ func NewStreaming(cfg StreamingConfig) *Streaming {
 	cfg = cfg.withDefaults()
 	s := &Streaming{
 		cfg:      cfg,
-		outAttrs: sketch.NewAMC[int32](cfg.AMCSize, cfg.DecayRate),
-		inAttrs:  sketch.NewAMC[int32](cfg.AMCSize, cfg.DecayRate),
+		outAttrs: sketch.NewDenseAMC(cfg.AMCSize, cfg.DecayRate),
+		inAttrs:  sketch.NewDenseAMC(cfg.AMCSize, cfg.DecayRate),
 		outTree:  cps.NewMCPS(),
 		inTree:   cps.NewMCPS(),
 	}
@@ -131,21 +138,28 @@ func (s *Streaming) Decay() {
 	s.inAttrs.Decay()
 
 	minOut := s.cfg.MinSupport * s.totalOut
-	freqOut := make(map[int32]float64)
+	s.freqItems = s.freqItems[:0]
+	s.freqCounts = s.freqCounts[:0]
 	s.outAttrs.ForEach(func(item int32, count float64) {
 		if count >= minOut {
-			freqOut[item] = count
+			s.freqItems = append(s.freqItems, item)
+			s.freqCounts = append(s.freqCounts, count)
 		}
 	})
-	s.outTree.Restructure(freqOut, retain)
+	if s.freqItems == nil {
+		// Restructure treats a nil item slice as keep-all; an empty
+		// frequent set must prune everything instead.
+		s.freqItems = make([]int32, 0, 1)
+	}
+	s.outTree.Restructure(s.freqItems, s.freqCounts, retain)
 	// The inlier tree tracks outlier-frequent attributes, ordered by
 	// their inlier counts so its paths stay compressed.
-	freqIn := make(map[int32]float64, len(freqOut))
-	for item := range freqOut {
+	s.freqCounts = s.freqCounts[:0]
+	for _, item := range s.freqItems {
 		c, _ := s.inAttrs.Count(item)
-		freqIn[item] = c
+		s.freqCounts = append(s.freqCounts, c)
 	}
-	s.inTree.Restructure(freqIn, retain)
+	s.inTree.Restructure(s.freqItems, s.freqCounts, retain)
 }
 
 // Explanations implements core.Explainer: it materializes the current
@@ -157,8 +171,11 @@ func (s *Streaming) Explanations() []core.Explanation {
 	}
 	minCount := s.cfg.MinSupport * s.totalOut
 
-	// Single attributes from the AMC sketches.
-	qualified := make(map[int32]bool)
+	// Single attributes from the AMC sketches. qualified is a dense
+	// per-explainer bitmap reused across polls (ids are dense).
+	for i := range s.qualified {
+		s.qualified[i] = false
+	}
 	var exps []core.Explanation
 	tested := 0
 	s.outAttrs.ForEach(func(item int32, ao float64) {
@@ -171,7 +188,10 @@ func (s *Streaming) Explanations() []core.Explanation {
 		if rr < s.cfg.MinRiskRatio {
 			return
 		}
-		qualified[item] = true
+		for int(item) >= len(s.qualified) {
+			s.qualified = append(s.qualified, false)
+		}
+		s.qualified[item] = true
 		exps = append(exps, core.Explanation{
 			ItemIDs:       []int32{item},
 			Support:       ao / s.totalOut,
@@ -190,7 +210,7 @@ func (s *Streaming) Explanations() []core.Explanation {
 		}
 		ok := true
 		for _, it := range is.Items {
-			if !qualified[it] {
+			if int(it) >= len(s.qualified) || !s.qualified[it] {
 				ok = false
 				break
 			}

@@ -4,9 +4,24 @@
 // the same miner serves both raw batch counts and exponentially
 // decayed streaming counts, and transactions are weighted so the
 // M-CPS-tree can be mined by replaying its prefix paths.
+//
+// Like the cps package, the tree is flat (itemtree.Arena): nodes live
+// in one slab addressed by int32 indexes and the per-item tables are
+// dense slices. The top-level tree is indexed directly by attribute id
+// (dense by construction of encode.Encoder; negative ids are ignored).
+// Conditional trees built during mining live in the parent tree's rank
+// space — token domains shrink at every recursion level, so a
+// conditional tree's tables are proportional to its parent's item
+// count, never to the global id universe. A Tree is not safe for
+// concurrent use.
 package fptree
 
-import "sort"
+import (
+	"slices"
+	"sort"
+
+	"macrobase/internal/itemtree"
+)
 
 // Itemset is a mined frequent itemset: items sorted ascending by id
 // and the (possibly decayed) number of transactions containing them.
@@ -17,43 +32,47 @@ type Itemset struct {
 
 // Tree is a frequency-descending prefix tree of transactions.
 type Tree struct {
-	root    *node
-	headers map[int32]*header
-	order   []int32       // items, most frequent first
-	rank    map[int32]int // item -> position in order
-	scratch []int32
+	arena itemtree.Arena
+	order []int32 // rank -> token, most frequent first
+	rank  []int32 // token -> rank, -1 absent
+	// labels maps token -> global attribute id; nil means tokens are
+	// ids (every Build-constructed tree). Conditional trees share
+	// their parent's rank-to-id table here.
+	labels   []int32
+	idsCache []int32 // lazily built rank -> id table shared with conditionals
+	scratch  []int32
 }
 
-type node struct {
-	item     int32
-	count    float64
-	parent   *node
-	children map[int32]*node
-	next     *node // header chain
-}
-
-type header struct {
-	count float64
-	head  *node
-	tail  *node
+// idOf translates a token to its global attribute id.
+func (t *Tree) idOf(tok int32) int32 {
+	if t.labels == nil {
+		return tok
+	}
+	return t.labels[tok]
 }
 
 // Build constructs an FP-tree over the weighted transactions,
 // discarding items whose total weight is below minCount. weights may
 // be nil (all transactions count 1). Items within a transaction must
-// be distinct; order is irrelevant.
+// be distinct; order is irrelevant. Negative ids are ignored.
 func Build(txs [][]int32, weights []float64, minCount float64) *Tree {
-	counts := make(map[int32]float64)
+	var counts []float64
 	for ti, tx := range txs {
 		w := 1.0
 		if weights != nil {
 			w = weights[ti]
 		}
 		for _, it := range tx {
+			if it < 0 {
+				continue
+			}
+			for int(it) >= len(counts) {
+				counts = append(counts, 0)
+			}
 			counts[it] += w
 		}
 	}
-	t := newTree(counts, minCount)
+	t := newTree(counts, minCount, nil)
 	for ti, tx := range txs {
 		w := 1.0
 		if weights != nil {
@@ -65,32 +84,48 @@ func Build(txs [][]int32, weights []float64, minCount float64) *Tree {
 }
 
 // newTree prepares an empty tree whose item order is the frequency-
-// descending order of counts, restricted to items with count >=
-// minCount.
-func newTree(counts map[int32]float64, minCount float64) *Tree {
-	t := &Tree{
-		root:    &node{children: make(map[int32]*node)},
-		headers: make(map[int32]*header),
-		rank:    make(map[int32]int),
-	}
-	for it, c := range counts {
-		if c >= minCount {
-			t.order = append(t.order, it)
-			t.headers[it] = &header{count: c}
+// descending order of counts (a dense token-indexed table), restricted
+// to tokens with count >= minCount. labels, when non-nil, maps tokens
+// to global ids for itemset output.
+func newTree(counts []float64, minCount float64, labels []int32) *Tree {
+	t := &Tree{labels: labels}
+	t.arena.Init()
+	for tok, c := range counts {
+		if c >= minCount && c > 0 {
+			t.order = append(t.order, int32(tok))
 		}
 	}
-	sort.Slice(t.order, func(i, j int) bool {
-		a, b := t.order[i], t.order[j]
+	slices.SortFunc(t.order, func(a, b int32) int {
 		ca, cb := counts[a], counts[b]
-		if ca != cb {
-			return ca > cb
+		switch {
+		case ca > cb:
+			return -1
+		case ca < cb:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
 		}
-		return a < b
+		return 0
 	})
-	for i, it := range t.order {
-		t.rank[it] = i
+	t.rank = make([]int32, len(counts))
+	for i := range t.rank {
+		t.rank[i] = -1
+	}
+	for i, tok := range t.order {
+		t.rank[tok] = int32(i)
+		t.arena.AddRank(itemtree.Header{Count: counts[tok]})
 	}
 	return t
+}
+
+// rankOf returns the token's rank or -1.
+func (t *Tree) rankOf(tok int32) int32 {
+	if tok < 0 || int(tok) >= len(t.rank) {
+		return -1
+	}
+	return t.rank[tok]
 }
 
 // Insert adds one weighted transaction, keeping only items frequent at
@@ -98,50 +133,32 @@ func newTree(counts map[int32]float64, minCount float64) *Tree {
 func (t *Tree) Insert(tx []int32, w float64) {
 	items := t.scratch[:0]
 	for _, it := range tx {
-		if _, ok := t.rank[it]; ok {
+		if t.rankOf(it) >= 0 {
 			items = append(items, it)
 		}
 	}
-	rank := t.rank
-	sort.Slice(items, func(i, j int) bool { return rank[items[i]] < rank[items[j]] })
 	t.scratch = items
-	cur := t.root
-	for _, it := range items {
-		child, ok := cur.children[it]
-		if !ok {
-			child = &node{item: it, parent: cur, children: make(map[int32]*node)}
-			cur.children[it] = child
-			h := t.headers[it]
-			if h.tail == nil {
-				h.head, h.tail = child, child
-			} else {
-				h.tail.next = child
-				h.tail = child
-			}
-		}
-		child.count += w
-		cur = child
+	if len(items) == 0 {
+		return
 	}
+	itemtree.SortByRank(items, t.rank)
+	t.arena.InsertSorted(items, t.rank, w)
 }
 
 // ItemCount returns the total weight of item across all transactions
-// inserted so far (0 for items pruned at build time).
+// inserted so far (0 for items pruned at build time). Header counts
+// are fixed at build time; the chain walk reports live values for
+// incrementally grown trees.
 func (t *Tree) ItemCount(item int32) float64 {
-	h, ok := t.headers[item]
-	if !ok {
+	r := t.rankOf(item)
+	if r < 0 {
 		return 0
 	}
-	// Header counts are fixed at build time for Build-constructed
-	// trees; recompute from the chain so incrementally built trees
-	// (conditional trees) report live values.
-	c := 0.0
-	for n := h.head; n != nil; n = n.next {
-		c += n.count
-	}
-	return c
+	return t.arena.ChainCount(r)
 }
 
 // Items returns the frequent items in frequency-descending order.
+// Valid only on Build-constructed trees (token space = ids).
 func (t *Tree) Items() []int32 { return t.order }
 
 // Mine runs FPGrowth and returns every itemset with weight >=
@@ -149,63 +166,78 @@ func (t *Tree) Items() []int32 { return t.order }
 // The output includes singleton itemsets.
 func (t *Tree) Mine(minCount float64, maxItems int) []Itemset {
 	var out []Itemset
-	var suffix []int32
-	t.mine(minCount, maxItems, suffix, &out)
+	t.mine(minCount, maxItems, nil, &out)
 	// Canonicalize item order within each set.
 	for i := range out {
-		sort.Slice(out[i].Items, func(a, b int) bool { return out[i].Items[a] < out[i].Items[b] })
+		s := out[i].Items
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
 	}
 	return out
 }
 
 // mine recursively grows patterns ending in each item, least frequent
-// first.
+// first. suffix carries global ids.
 func (t *Tree) mine(minCount float64, maxItems int, suffix []int32, out *[]Itemset) {
 	for i := len(t.order) - 1; i >= 0; i-- {
-		it := t.order[i]
-		total := t.ItemCount(it)
+		tok := t.order[i]
+		total := t.arena.ChainCount(int32(i))
 		if total < minCount {
 			continue
 		}
 		items := make([]int32, 0, len(suffix)+1)
-		items = append(items, it)
+		items = append(items, t.idOf(tok))
 		items = append(items, suffix...)
 		*out = append(*out, Itemset{Items: items, Count: total})
 		if maxItems > 0 && len(items) >= maxItems {
 			continue
 		}
-		cond := t.conditional(it, minCount)
+		cond := t.conditional(int32(i), minCount)
 		if len(cond.order) > 0 {
 			cond.mine(minCount, maxItems, items, out)
 		}
 	}
 }
 
-// conditional builds the conditional FP-tree for item: the prefix
-// paths of every node carrying the item, weighted by that node's
-// count.
-func (t *Tree) conditional(item int32, minCount float64) *Tree {
-	h := t.headers[item]
-	// First pass: conditional item frequencies.
-	counts := make(map[int32]float64)
-	for n := h.head; n != nil; n = n.next {
-		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
-			counts[p.item] += n.count
+// idByRank materializes the rank -> global id table handed to
+// conditional trees as their label mapping. The table is immutable
+// after build, so it is computed once and shared by every conditional.
+func (t *Tree) idByRank() []int32 {
+	if t.idsCache == nil {
+		ids := make([]int32, len(t.order))
+		for r, tok := range t.order {
+			ids[r] = t.idOf(tok)
+		}
+		t.idsCache = ids
+	}
+	return t.idsCache
+}
+
+// conditional builds the conditional FP-tree for the item at rank r:
+// the prefix paths of every node carrying the item, weighted by that
+// node's count. The conditional tree's tokens are this tree's ranks —
+// a dense domain of size len(t.order) — so its tables stay proportional
+// to the parent's item count regardless of the global id universe.
+func (t *Tree) conditional(r int32, minCount float64) *Tree {
+	nodes := t.arena.Nodes
+	counts := make([]float64, len(t.order))
+	for n := t.arena.Headers[r].Head; n != itemtree.NilIdx; n = nodes[n].Link {
+		w := nodes[n].Count
+		for p := nodes[n].Parent; p != itemtree.NilIdx; p = nodes[p].Parent {
+			counts[t.rank[nodes[p].Item]] += w
 		}
 	}
-	cond := newTree(counts, minCount)
+	cond := newTree(counts, minCount, t.idByRank())
 	if len(cond.order) == 0 {
 		return cond
 	}
-	// Second pass: insert prefix paths.
 	var path []int32
-	for n := h.head; n != nil; n = n.next {
+	for n := t.arena.Headers[r].Head; n != itemtree.NilIdx; n = nodes[n].Link {
 		path = path[:0]
-		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
-			path = append(path, p.item)
+		for p := nodes[n].Parent; p != itemtree.NilIdx; p = nodes[p].Parent {
+			path = append(path, t.rank[nodes[p].Item])
 		}
 		if len(path) > 0 {
-			cond.Insert(path, n.count)
+			cond.Insert(path, nodes[n].Count)
 		}
 	}
 	return cond
@@ -221,43 +253,17 @@ func (t *Tree) ItemsetSupport(items []int32) float64 {
 	if len(items) == 0 {
 		return 0
 	}
-	// Sort a copy by rank descending: deepest item first, then the
-	// remaining items in the order they appear while walking up.
-	q := make([]int32, len(items))
-	copy(q, items)
+	q := append(t.scratch[:0], items...)
+	t.scratch = q
 	for _, it := range q {
-		if _, ok := t.rank[it]; !ok {
+		if t.rankOf(it) < 0 {
 			return 0
 		}
 	}
-	rank := t.rank
-	sort.Slice(q, func(i, j int) bool { return rank[q[i]] > rank[q[j]] })
-	h := t.headers[q[0]]
-	total := 0.0
-	for n := h.head; n != nil; n = n.next {
-		need := 1 // q[0] matched at n itself
-		for p := n.parent; p != nil && p.parent != nil && need < len(q); p = p.parent {
-			if p.item == q[need] {
-				need++
-			}
-		}
-		if need == len(q) {
-			total += n.count
-		}
-	}
-	return total
+	itemtree.SortByRankDesc(q, t.rank)
+	return t.arena.Support(q, t.rank)
 }
 
 // NumNodes reports the number of tree nodes (excluding the root),
 // used by memory accounting tests.
-func (t *Tree) NumNodes() int {
-	var walk func(n *node) int
-	walk = func(n *node) int {
-		c := 0
-		for _, ch := range n.children {
-			c += 1 + walk(ch)
-		}
-		return c
-	}
-	return walk(t.root)
-}
+func (t *Tree) NumNodes() int { return t.arena.NumNodes() }

@@ -1,0 +1,191 @@
+// Package itemtree is the shared flat-arena core of MacroBase's two
+// prefix trees (internal/cps, internal/fptree): a contiguous node slab
+// addressed by int32 indexes in first-child/next-sibling layout, with
+// per-rank header chains for node-link traversals and a dense
+// root-child table for O(1) child lookup at the root, where fan-out is
+// largest. The packages on top own item semantics (what a token means,
+// how ranks are assigned, when headers accumulate); this package owns
+// the structural invariants, so a layout fix lands in exactly one
+// place.
+//
+// An Arena is not safe for concurrent use.
+package itemtree
+
+import "slices"
+
+// NilIdx marks an empty int32 index slot. Node index 0 is the root, so
+// 0 doubles as "none" for child/sibling/link slots (the root can never
+// be a child, a sibling, or on a header chain).
+const NilIdx = int32(0)
+
+// Node is one arena slot. First/Next encode the child list
+// (first-child/next-sibling); Link is the per-item header chain.
+// Item is a token whose meaning the owning package defines (an
+// attribute id, or a parent-tree rank in FPGrowth conditionals).
+type Node struct {
+	Count  float64
+	Item   int32 // owner-defined token
+	Parent int32 // arena index; 0 = root
+	First  int32 // first child, 0 = none
+	Next   int32 // next sibling, 0 = none
+	Link   int32 // next node with the same item, 0 = none
+}
+
+// Header is the per-rank summary: the total weight the owner
+// accumulates (or fixes at build time) and the node-link chain
+// endpoints.
+type Header struct {
+	Count      float64
+	Head, Tail int32
+}
+
+// Arena is the structural core: the node slab plus the per-rank header
+// and root-child tables. Owners append to Headers/RootChild as they
+// register items (one entry per rank, RootChild zeroed).
+type Arena struct {
+	Nodes     []Node
+	Headers   []Header
+	RootChild []int32 // rank -> arena index of the root's child
+}
+
+// Init makes the arena a valid empty tree (root sentinel only).
+func (a *Arena) Init() {
+	a.Nodes = append(a.Nodes, Node{})
+}
+
+// Reset truncates the arena back to the root and clears the per-rank
+// tables, keeping all capacity.
+func (a *Arena) Reset() {
+	a.Nodes = a.Nodes[:1]
+	a.Nodes[0] = Node{}
+	a.Headers = a.Headers[:0]
+	a.RootChild = a.RootChild[:0]
+}
+
+// AddRank appends one rank slot to the per-rank tables.
+func (a *Arena) AddRank(h Header) {
+	a.Headers = append(a.Headers, h)
+	a.RootChild = append(a.RootChild, NilIdx)
+}
+
+// NumNodes reports the number of tree nodes (excluding the root).
+func (a *Arena) NumNodes() int { return len(a.Nodes) - 1 }
+
+// Decay multiplies every node and header count by retain — a linear
+// sweep over the slab, no pointer chasing.
+func (a *Arena) Decay(retain float64) {
+	for i := 1; i < len(a.Nodes); i++ {
+		a.Nodes[i].Count *= retain
+	}
+	for i := range a.Headers {
+		a.Headers[i].Count *= retain
+	}
+}
+
+// CloneInto deep-copies the arena's slabs into dst.
+func (a *Arena) CloneInto(dst *Arena) {
+	dst.Nodes = slices.Clone(a.Nodes)
+	dst.Headers = slices.Clone(a.Headers)
+	dst.RootChild = slices.Clone(a.RootChild)
+}
+
+// SortByRank insertion-sorts items ascending by rank[item].
+// Transactions are short and often nearly ordered, so this beats a
+// sort.Slice closure and allocates nothing.
+func SortByRank(items []int32, rank []int32) {
+	for i := 1; i < len(items); i++ {
+		v := items[i]
+		r := rank[v]
+		j := i - 1
+		for j >= 0 && rank[items[j]] > r {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = v
+	}
+}
+
+// SortByRankDesc insertion-sorts items descending by rank[item]
+// (deepest tree level first), the order support queries walk.
+func SortByRankDesc(items []int32, rank []int32) {
+	for i := 1; i < len(items); i++ {
+		v := items[i]
+		r := rank[v]
+		j := i - 1
+		for j >= 0 && rank[items[j]] < r {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = v
+	}
+}
+
+// InsertSorted descends the tree along a rank-sorted transaction,
+// creating missing nodes (wired into the sibling list, the root-child
+// table, and the per-rank header chain) and adding w to every node on
+// the path. Header count accumulation stays with the owner, whose
+// semantics differ between the trees. rank must cover every item.
+func (a *Arena) InsertSorted(items []int32, rank []int32, w float64) {
+	cur := NilIdx // root
+	for _, it := range items {
+		child := NilIdx
+		if cur == NilIdx {
+			child = a.RootChild[rank[it]]
+		} else {
+			for c := a.Nodes[cur].First; c != NilIdx; c = a.Nodes[c].Next {
+				if a.Nodes[c].Item == it {
+					child = c
+					break
+				}
+			}
+		}
+		if child == NilIdx {
+			child = int32(len(a.Nodes))
+			a.Nodes = append(a.Nodes, Node{Item: it, Parent: cur, Next: a.Nodes[cur].First})
+			a.Nodes[cur].First = child
+			if cur == NilIdx {
+				a.RootChild[rank[it]] = child
+			}
+			h := &a.Headers[rank[it]]
+			if h.Tail == NilIdx {
+				h.Head, h.Tail = child, child
+			} else {
+				a.Nodes[h.Tail].Link = child
+				h.Tail = child
+			}
+		}
+		a.Nodes[child].Count += w
+		cur = child
+	}
+}
+
+// ChainCount sums the node-link chain of the given rank: the live
+// total weight of the item, however the owner maintains its headers.
+func (a *Arena) ChainCount(r int32) float64 {
+	c := 0.0
+	for n := a.Headers[r].Head; n != NilIdx; n = a.Nodes[n].Link {
+		c += a.Nodes[n].Count
+	}
+	return c
+}
+
+// Support returns the total weight of transactions containing every
+// item in q, which must be sorted descending by rank (SortByRankDesc):
+// it walks the node-link chain of q[0] — the deepest item — and
+// matches the remaining items along each prefix path.
+func (a *Arena) Support(q []int32, rank []int32) float64 {
+	h := a.Headers[rank[q[0]]]
+	total := 0.0
+	for n := h.Head; n != NilIdx; n = a.Nodes[n].Link {
+		need := 1 // q[0] matched at n itself
+		for p := a.Nodes[n].Parent; p != NilIdx && need < len(q); p = a.Nodes[p].Parent {
+			if a.Nodes[p].Item == q[need] {
+				need++
+			}
+		}
+		if need == len(q) {
+			total += a.Nodes[n].Count
+		}
+	}
+	return total
+}

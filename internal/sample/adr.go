@@ -56,25 +56,40 @@ func (a *ADR[T]) ObserveWeighted(x T, w float64) {
 	}
 }
 
-// ObserveLazy offers an item of weight w, calling mk to materialize it
-// only if it is admitted, and reports whether it was. MDP uses this to
-// copy metric vectors out of reused batch buffers only on the rare
-// admissions rather than for every arriving point.
-func (a *ADR[T]) ObserveLazy(mk func() T, w float64) bool {
+// OfferSlot offers an item of weight w and, when it is admitted,
+// returns the reservoir slot the caller must fill (via Items()). This
+// is the allocation-free form of lazy admission: on the rare admission
+// the caller can copy into — and reuse the backing storage of — the
+// displaced resident, so a steady-state reservoir of slices recycles
+// its buffers instead of allocating per point. During the fill phase a
+// zero-valued slot is appended and its index returned.
+func (a *ADR[T]) OfferSlot(w float64) (int, bool) {
 	if w <= 0 {
-		return false
+		return -1, false
 	}
 	a.cw += w
 	if len(a.items) < a.k {
-		a.items = append(a.items, mk())
-		return true
+		var zero T
+		a.items = append(a.items, zero)
+		return len(a.items) - 1, true
 	}
 	p := float64(a.k) * w / a.cw
 	if p >= 1 || a.rng.Float64() < p {
-		a.items[a.rng.IntN(len(a.items))] = mk()
-		return true
+		return a.rng.IntN(len(a.items)), true
 	}
-	return false
+	return -1, false
+}
+
+// ObserveLazy offers an item of weight w, calling mk to materialize it
+// only if it is admitted, and reports whether it was. It consumes the
+// same RNG sequence as OfferSlot, which callers that want to recycle
+// the displaced slot's storage should prefer.
+func (a *ADR[T]) ObserveLazy(mk func() T, w float64) bool {
+	slot, ok := a.OfferSlot(w)
+	if ok {
+		a.items[slot] = mk()
+	}
+	return ok
 }
 
 // Decay damps the running weight by the configured rate
