@@ -1,0 +1,248 @@
+package main
+
+// Micro-benchmark mode (-bench) and the regression comparator
+// (-compare): mbbench runs the explanation hot-path kernels through
+// testing.Benchmark, embeds ns/op + allocs/op in the -json report, and
+// -compare fails the process (exit 1) when any kernel inflates more
+// than 2x in ns/op or allocs/op against a committed baseline report
+// (BENCH_PR3.json). CI runs the comparator on every push, so a hot
+// path can only regress past 2x by committing a new baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"macrobase/internal/core"
+	"macrobase/internal/explain"
+	"macrobase/internal/fptree"
+	"macrobase/internal/gen"
+)
+
+// benchResult is one kernel's measurement in the -json report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func runKernel(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	res := benchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	fmt.Printf("  %-34s %12.0f ns/op %8d B/op %6d allocs/op\n",
+		res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+// benchLabeledStream builds the deterministic labeled CMT stream the
+// explanation kernels run over (top-3% of metric[0] are outliers, so
+// no trainable classifier is involved).
+func benchLabeledStream(n int) [][]core.LabeledPoint {
+	ds, err := gen.DatasetByName("CMT")
+	if err != nil {
+		panic(err)
+	}
+	_, pts, _ := ds.Generate(gen.GenerateConfig{Points: n, Seed: 42})
+	scores := make([]float64, len(pts))
+	for i := range pts {
+		scores[i] = pts[i].Metrics[0]
+	}
+	sort.Float64s(scores)
+	cut := scores[int(float64(len(scores))*0.97)]
+	labeled := make([]core.LabeledPoint, len(pts))
+	for i := range pts {
+		label := core.Inlier
+		if pts[i].Metrics[0] > cut {
+			label = core.Outlier
+		}
+		labeled[i] = core.LabeledPoint{Point: pts[i], Score: pts[i].Metrics[0], Label: label}
+	}
+	const batch = 1024
+	var batches [][]core.LabeledPoint
+	for i := 0; i < len(labeled); i += batch {
+		end := min(i+batch, len(labeled))
+		batches = append(batches, labeled[i:end])
+	}
+	return batches
+}
+
+var benchExplainCfg = explain.StreamingConfig{MinSupport: 0.005, MinRiskRatio: 1.2, DecayRate: 0.05}
+
+// warmExplainer replays the whole stream (with decay ticks) into a
+// fresh explainer.
+func warmExplainer(cfg explain.StreamingConfig, batches [][]core.LabeledPoint) *explain.Streaming {
+	s := explain.NewStreaming(cfg)
+	for i, bt := range batches {
+		s.Consume(bt)
+		if (i+1)%64 == 0 {
+			s.Decay()
+		}
+	}
+	return s
+}
+
+// microBenchmarks measures the explanation hot paths the recent PRs
+// optimized: the per-point consume path, the poll path with the
+// incremental cache in each regime (disabled = the PR 2-era full
+// recompute, warm = steady-state full hits, inlier-moved = mined-table
+// reuse), and the raw FPGrowth mining kernel.
+func microBenchmarks() []benchResult {
+	fmt.Println("### micro — explanation hot-path kernels (ns/op, allocs/op)")
+	batches := benchLabeledStream(60_000)
+	noCacheCfg := benchExplainCfg
+	noCacheCfg.DisableCache = true
+
+	var inliers []core.LabeledPoint
+	for _, bt := range batches {
+		for i := range bt {
+			if bt[i].Label == core.Inlier {
+				inliers = append(inliers, bt[i])
+				if len(inliers) == 64 {
+					break
+				}
+			}
+		}
+		if len(inliers) == 64 {
+			break
+		}
+	}
+
+	results := []benchResult{
+		runKernel("StreamingExplain/consume", func(b *testing.B) {
+			s := explain.NewStreaming(benchExplainCfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Consume(batches[i%len(batches)])
+				if (i+1)%64 == 0 {
+					s.Decay()
+				}
+			}
+		}),
+		runKernel("StreamingExplain/poll-full", func(b *testing.B) {
+			s := warmExplainer(noCacheCfg, batches)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Explanations()
+			}
+		}),
+		runKernel("StreamingExplain/poll-warm", func(b *testing.B) {
+			s := warmExplainer(benchExplainCfg, batches)
+			s.Explanations() // prime the cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Explanations()
+			}
+		}),
+		runKernel("StreamingExplain/poll-inlier-moved", func(b *testing.B) {
+			s := warmExplainer(benchExplainCfg, batches)
+			s.Explanations()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Consume(inliers) // outlier side untouched: mined-table reuse
+				s.Explanations()
+			}
+		}),
+		runKernel("FPGrowthMine", func(b *testing.B) {
+			txs := make([][]int32, 0, 20_000)
+			for _, bt := range batches {
+				for i := range bt {
+					txs = append(txs, bt[i].Attrs)
+					if len(txs) == cap(txs) {
+						break
+					}
+				}
+				if len(txs) == cap(txs) {
+					break
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree := fptree.Build(txs, nil, 20)
+				tree.Mine(20, 0)
+			}
+		}),
+	}
+	fmt.Println()
+	return results
+}
+
+// compareAgainstBaseline checks the current micro-benchmark results
+// against a committed baseline report, failing on >2x inflation of
+// ns/op or allocs/op for any kernel present in both, and on any
+// baseline kernel missing from the current run (a silently dropped or
+// renamed kernel would otherwise disable its gate). allocs/op is
+// machine-independent and always gated; ns/op is gated only when the
+// baseline was recorded on comparable hardware (same GOARCH and CPU
+// count), since wall-clock ratios across different machines measure
+// the hardware, not the code — on mismatched hardware ns/op is
+// reported informationally. A small absolute grace (1µs, 8 allocs)
+// keeps near-zero kernels from tripping on scheduler noise; a
+// baseline without a benchmarks section (pre-PR 3 reports) compares
+// nothing and passes, which is the bootstrap path.
+func compareAgainstBaseline(path string, current []benchResult) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base jsonReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Printf("baseline %s has no micro-benchmarks; nothing to compare (bootstrap)\n", path)
+		return nil
+	}
+	byName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	sameHardware := base.GOARCH == runtime.GOARCH && base.NumCPU == runtime.NumCPU()
+	if sameHardware {
+		fmt.Printf("### compare — current vs %s (fail > 2.00x ns/op or allocs/op)\n", path)
+	} else {
+		fmt.Printf("### compare — current vs %s (fail > 2.00x allocs/op; ns/op informational: baseline hardware %s/%d cpu != %s/%d cpu)\n",
+			path, base.GOARCH, base.NumCPU, runtime.GOARCH, runtime.NumCPU())
+	}
+	failed := false
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		seen[cur.Name] = true
+		old, ok := byName[cur.Name]
+		if !ok {
+			fmt.Printf("  %-34s new kernel, no baseline\n", cur.Name)
+			continue
+		}
+		nsRatio := cur.NsPerOp / old.NsPerOp
+		nsBad := sameHardware && nsRatio > 2 && cur.NsPerOp-old.NsPerOp > 1000
+		allocsBad := cur.AllocsPerOp > 2*old.AllocsPerOp+8
+		verdict := "ok"
+		if nsBad || allocsBad {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-34s ns/op %.2fx (%.0f -> %.0f)  allocs/op %d -> %d  %s\n",
+			cur.Name, nsRatio, old.NsPerOp, cur.NsPerOp, old.AllocsPerOp, cur.AllocsPerOp, verdict)
+	}
+	for _, old := range base.Benchmarks {
+		if !seen[old.Name] {
+			fmt.Printf("  %-34s MISSING from current run (kernel dropped or renamed without a new baseline)\n", old.Name)
+			failed = true
+		}
+	}
+	fmt.Println()
+	if failed {
+		return fmt.Errorf("micro-benchmarks regressed against %s (commit a new baseline only with a justification)", path)
+	}
+	return nil
+}

@@ -10,6 +10,8 @@
 //	mbbench -run all -scale 0.05
 //	mbbench -run quick -scale 0.02   # skips the heavy experiments
 //	mbbench -run fig6,mcps -json results.json   # machine-readable copy
+//	mbbench -bench -json results.json           # + hot-path micro-benchmarks
+//	mbbench -bench -compare BENCH_PR3.json      # fail on >2x ns/op or allocs/op
 package main
 
 import (
@@ -37,6 +39,10 @@ type jsonReport struct {
 	NumCPU      int              `json:"num_cpu"`
 	StartedAt   string           `json:"started_at"` // RFC 3339
 	Experiments []jsonExperiment `json:"experiments"`
+	// Benchmarks holds the -bench micro-benchmark results (ns/op,
+	// allocs/op per hot-path kernel); -compare diffs these against a
+	// committed baseline report and fails CI on >2x inflation.
+	Benchmarks []benchResult `json:"benchmarks,omitempty"`
 }
 
 type jsonExperiment struct {
@@ -52,8 +58,13 @@ func main() {
 		scale    = flag.Float64("scale", 0.02, "dataset scale factor relative to the paper's sizes")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
+		bench    = flag.Bool("bench", false, "run hot-path micro-benchmarks and include them in the report")
+		compare  = flag.String("compare", "", "baseline report to diff micro-benchmarks against; exit 1 on >2x ns/op or allocs/op inflation (implies -bench)")
 	)
 	flag.Parse()
+	if *compare != "" {
+		*bench = true
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -110,6 +121,9 @@ func main() {
 			ID: e.ID, Name: e.Name, Seconds: secs, Tables: tables,
 		})
 	}
+	if *bench {
+		report.Benchmarks = microBenchmarks()
+	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -122,5 +136,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *compare != "" {
+		if err := compareAgainstBaseline(*compare, report.Benchmarks); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -40,6 +40,7 @@ import (
 
 	"macrobase/internal/core"
 	"macrobase/internal/encode"
+	"macrobase/internal/explain"
 	"macrobase/internal/ingest"
 	"macrobase/internal/pipeline"
 )
@@ -327,14 +328,19 @@ func (g *streamRegistry) lookup(r *http.Request) (*streamState, string, bool) {
 	return st, id, ok && st.session != nil
 }
 
-// streamResponse is the poll/stop report.
+// streamResponse is the poll/stop report. The cache block exposes the
+// session's cumulative explanation-cache counters (how many polls were
+// full cache hits, how many reused the cached mined itemset table, and
+// how many ran a full FPGrowth mine), so cache effectiveness is
+// observable per stream.
 type streamResponse struct {
-	ID           string            `json:"id"`
-	Done         bool              `json:"done"`
-	Points       int               `json:"points"`
-	Outliers     int               `json:"outliers"`
-	DecayTicks   int               `json:"decayTicks"`
-	Explanations []explanationJSON `json:"explanations"`
+	ID           string             `json:"id"`
+	Done         bool               `json:"done"`
+	Points       int                `json:"points"`
+	Outliers     int                `json:"outliers"`
+	DecayTicks   int                `json:"decayTicks"`
+	Cache        explain.CacheStats `json:"cache"`
+	Explanations []explanationJSON  `json:"explanations"`
 }
 
 func (g *streamRegistry) handlePoll(w http.ResponseWriter, r *http.Request) {
@@ -394,6 +400,7 @@ func writeStreamResponse(w http.ResponseWriter, id string, st *streamState, res 
 		Points:     res.Stats.Points,
 		Outliers:   res.Stats.Outliers,
 		DecayTicks: res.Stats.DecayTicks,
+		Cache:      res.Cache,
 	}
 	resp.Explanations = explanationsJSON(exps)
 	writeJSON(w, resp)

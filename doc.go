@@ -85,4 +85,56 @@
 // Output equivalence with the pre-arena structures is pinned by golden
 // tests (internal/explain/testdata): ranked explanations, sequential
 // and sharded-merge alike, are unchanged on the paper workloads.
+//
+// # Incremental cached mining on the poll path
+//
+// With clones reduced to slab memcpys, a resident session's poll cost
+// is dominated by re-running FPGrowth mining and ranking — wasted work
+// when the summaries barely moved between polls. The explanation layer
+// therefore mines incrementally, built on one invariant:
+//
+//   - Tree epochs. cps.Tree carries a mutation stamp bumped by every
+//     Insert, Restructure, and Merge (conservatively: a call that
+//     leaves the structure unchanged still counts) and preserved by
+//     Clone. Within a clone lineage, equal epochs imply identical
+//     trees. Queries never bump it.
+//
+//   - Cache key. explain.Streaming keys its caches on (outTree epoch,
+//     inTree epoch, totalOut, totalIn). The quadruple covers the
+//     sketches too: a sketch can only change alongside a total
+//     (Consume) or a tree epoch (Decay, Merge), so equal keys imply
+//     the entire summary state is unchanged. Invalidation is pure key
+//     comparison — there are no invalidation hooks to forget.
+//
+//   - Two cache levels. If the full key is unchanged, Explanations
+//     replays the previous ranked output (steady-state polls of a
+//     resident stream — measured ~650x faster than a full recompute).
+//     If only the inlier side moved — the common case under a
+//     mostly-inlier stream — the cached mined itemset table is reused
+//     (same outTree epoch, same threshold) and only support counting,
+//     risk-ratio filtering, and ranking rerun. Any outlier-side
+//     movement (new outliers, a decay-tick restructure) triggers a
+//     full re-mine, so full mines happen at most once per outlier
+//     batch or decay tick.
+//
+//   - Sharded polls. explain.PollMerger carries the cache across a
+//     session's merged polls: per-shard signatures (explain.Signature,
+//     the same quadruple) decide whether the previous merged result or
+//     mined table is still exact before any merging happens.
+//     pipeline.StreamSession serializes polls around one merger;
+//     ShardedResult.Cache and the mbserver /stream/{id} response
+//     expose the cumulative full-hit / mine-reuse / full-mine
+//     counters.
+//
+// Both cached paths are bit-identical to a full recompute — they reuse
+// results only when the state is provably identical — pinned by a
+// randomized differential harness (sequential and sharded, shrinking
+// failures to minimal op sequences), go test -fuzz targets for the
+// tree layers, and golden cold/warm poll tests. The remaining full
+// mines are allocation-bounded: the FP-tree build and the FPGrowth
+// conditional trees recycle per-tree and per-miner arena frames
+// (fptree.BuildInto, fptree.Miner), so a steady-state mine allocates
+// only its output itemsets. Regression cover: cmd/mbbench -bench
+// measures the hot-path kernels and -compare fails CI on >2x ns/op or
+// allocs/op inflation against the committed BENCH_PR3.json baseline.
 package macrobase

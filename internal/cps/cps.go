@@ -40,6 +40,13 @@ type Tree struct {
 	arena    itemtree.Arena
 	order    []int32 // rank -> item id (frequency-descending)
 	rank     []int32 // item id -> rank, -1 when absent
+	// epoch stamps the tree's mutation history: every Insert,
+	// Restructure, and Merge bumps it (conservatively — a call that
+	// happens to leave the structure unchanged still counts), and Clone
+	// preserves it. Two trees cloned from the same lineage with equal
+	// epochs are therefore structurally identical, which is what the
+	// explanation layer's incremental mining cache keys on.
+	epoch uint64
 	// allowed is the frequent-item filter for M-CPS inserts, dense by
 	// id; nil accepts everything (always nil for CPS, and for M-CPS
 	// before the first window boundary and after keep-all
@@ -61,6 +68,14 @@ type Tree struct {
 	countByID    []float64
 	freqItems    []int32 // keep-all restructure staging
 	freqCounts   []float64
+
+	// Reusable mining state: Mine replays the tree's paths into
+	// mineTree (rebuilt in place) and runs FPGrowth through miner's
+	// per-depth conditional frames, so steady-state mines allocate only
+	// their output itemsets. Clone deliberately does not copy these —
+	// they are scratch, not state.
+	mineTree fptree.Tree
+	miner    fptree.Miner
 }
 
 // NewMCPS returns an M-CPS-tree.
@@ -104,6 +119,7 @@ func (t *Tree) ensureItem(it int32) int32 {
 // appended to the current order (they sort last until the next
 // restructure). Negative ids are ignored.
 func (t *Tree) Insert(attrs []int32, w float64) {
+	t.epoch++
 	items := t.itemScratch[:0]
 	for _, it := range attrs {
 		if it < 0 {
@@ -140,6 +156,14 @@ func (t *Tree) ItemCount(item int32) float64 {
 
 // NumItems reports how many distinct items the tree currently stores.
 func (t *Tree) NumItems() int { return len(t.order) }
+
+// Epoch returns the tree's mutation stamp: it advances on every
+// Insert, Restructure, and Merge (even ones that leave the structure
+// unchanged — the stamp is conservative) and survives Clone. Within
+// one clone lineage, equal epochs imply identical tree contents, the
+// invariant the explanation cache relies on; epochs of unrelated trees
+// are not comparable.
+func (t *Tree) Epoch() uint64 { return t.epoch }
 
 // NumNodes reports the number of tree nodes (excluding the root).
 func (t *Tree) NumNodes() int { return t.arena.NumNodes() }
@@ -198,6 +222,7 @@ func (t *Tree) path(i int) []int32 {
 // insert filter. Steady-state restructures reuse the tree's scratch
 // and allocate nothing.
 func (t *Tree) Restructure(items []int32, counts []float64, retain float64) {
+	t.epoch++
 	// Decay in place first so extracted path weights are decayed.
 	t.arena.Decay(retain)
 	t.extractPaths()
@@ -272,6 +297,14 @@ func (t *Tree) Restructure(items []int32, counts []float64, retain float64) {
 		for len(t.allowed) < len(t.rank) {
 			t.allowed = append(t.allowed, false)
 		}
+		if t.allowed == nil {
+			// An empty frequent set over a tree with an empty rank
+			// table must still close the filter: a nil slice means
+			// accept-everything, which would let the next window's
+			// inserts bypass the (empty) frequent set. Caught by the
+			// FuzzTreeOps corpus.
+			t.allowed = make([]bool, 0, 8)
+		}
 		for _, it := range t.order {
 			t.allowed[it] = true
 		}
@@ -285,14 +318,19 @@ func (t *Tree) Restructure(items []int32, counts []float64, retain float64) {
 }
 
 // Mine replays the tree's weighted paths through an FP-tree and runs
-// FPGrowth, returning itemsets with decayed count >= minCount.
+// FPGrowth, returning itemsets with decayed count >= minCount. The
+// FP-tree and the conditional trees of the FPGrowth recursion live in
+// per-tree reusable arenas, so steady-state mines allocate only the
+// returned itemsets. Mining is deterministic: two structurally
+// identical trees mine bit-identical results.
 func (t *Tree) Mine(minCount float64, maxItems int) []fptree.Itemset {
 	t.extractPaths()
 	t.pathSlices = t.pathSlices[:0]
 	for i := 0; i < t.numPaths(); i++ {
 		t.pathSlices = append(t.pathSlices, t.path(i))
 	}
-	return fptree.Build(t.pathSlices, t.pathW, minCount).Mine(minCount, maxItems)
+	fptree.BuildInto(&t.mineTree, t.pathSlices, t.pathW, minCount)
+	return t.mineTree.MineWith(&t.miner, minCount, maxItems)
 }
 
 // ItemsetSupport returns the decayed weight of transactions containing
@@ -331,6 +369,7 @@ func (t *Tree) ForEachPath(f func(items []int32, weight float64)) {
 // each shard's frequent set legitimately differs — and the allowed
 // sets union: an item frequent on either shard stays insertable.
 func (t *Tree) Merge(src *Tree) {
+	t.epoch++ // conservative: even an empty src counts as a mutation
 	if t.allowed != nil {
 		if src.allowed == nil {
 			t.allowed = nil
@@ -356,13 +395,15 @@ func (t *Tree) Merge(src *Tree) {
 // Clone returns a deep copy of the tree: with the arena layout this is
 // a handful of slab copies — no path replay — so the sharded engine's
 // per-poll snapshots cost a memcpy, not a rebuild. Counts, item order,
-// and node identity are preserved exactly.
+// node identity, and the epoch stamp are preserved exactly; mining
+// scratch is not copied (the clone grows its own on first Mine).
 func (t *Tree) Clone() *Tree {
 	c := &Tree{
 		trackAll: t.trackAll,
 		order:    slices.Clone(t.order),
 		rank:     slices.Clone(t.rank),
 		allowed:  slices.Clone(t.allowed),
+		epoch:    t.epoch,
 	}
 	t.arena.CloneInto(&c.arena)
 	return c

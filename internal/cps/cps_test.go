@@ -370,3 +370,77 @@ func TestKeepAllRestructureLeavesMCPSOpen(t *testing.T) {
 		t.Fatalf("filter not re-installed: ItemCount(2) = %v, want 0", got)
 	}
 }
+
+// TestEmptyFrequentSetClosesEmptyTree: an explicit empty frequent set
+// must close the M-CPS insert filter even when the tree has never
+// stored an item (regression found by FuzzTreeOps: the dense allowed
+// table came out nil — accept-everything — when the rank table was
+// empty).
+func TestEmptyFrequentSetClosesEmptyTree(t *testing.T) {
+	tree := NewMCPS()
+	tree.Restructure([]int32{}, nil, 1)
+	tree.Insert([]int32{3}, 1)
+	if got := tree.ItemCount(3); got != 0 {
+		t.Fatalf("empty frequent set left the filter open: ItemCount(3) = %v, want 0", got)
+	}
+}
+
+// TestEpochStamps: the mutation stamp advances on every Insert,
+// Restructure, and Merge and survives Clone — the invariant the
+// explanation layer's incremental mining cache keys on.
+func TestEpochStamps(t *testing.T) {
+	tree := NewMCPS()
+	e0 := tree.Epoch()
+	tree.Insert([]int32{1, 2}, 1)
+	e1 := tree.Epoch()
+	if e1 <= e0 {
+		t.Fatalf("Insert did not bump epoch: %d -> %d", e0, e1)
+	}
+	tree.Restructure(nil, nil, 0.5)
+	e2 := tree.Epoch()
+	if e2 <= e1 {
+		t.Fatalf("Restructure did not bump epoch: %d -> %d", e1, e2)
+	}
+	other := NewMCPS()
+	tree.Merge(other)
+	e3 := tree.Epoch()
+	if e3 <= e2 {
+		t.Fatalf("Merge (even of an empty tree) did not bump epoch: %d -> %d", e2, e3)
+	}
+	c := tree.Clone()
+	if c.Epoch() != tree.Epoch() {
+		t.Fatalf("Clone changed epoch: %d != %d", c.Epoch(), tree.Epoch())
+	}
+	// Queries must not bump: equal epochs must keep implying equal
+	// structure across reads.
+	tree.Mine(0.1, 0)
+	tree.ItemsetSupport([]int32{1})
+	if tree.Epoch() != e3 {
+		t.Fatalf("read-only query bumped epoch: %d -> %d", e3, tree.Epoch())
+	}
+}
+
+// TestMineSteadyStateAllocationBounded: with the per-tree FP-tree and
+// per-miner conditional arenas, a repeated Mine over an unchanged tree
+// allocates only its output — one Items slice per mined itemset plus
+// the result slice's growth — independent of tree size or repetition
+// count.
+func TestMineSteadyStateAllocationBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	tree := NewMCPS()
+	for _, tx := range randomTxs(rng, 400, 12, 6) {
+		tree.Insert(tx, 1)
+	}
+	n := len(tree.Mine(2, 0)) // warm the arenas
+	if n == 0 {
+		t.Fatal("workload mined nothing")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		tree.Mine(2, 0)
+	})
+	// One allocation per itemset's Items slice plus O(log n) result
+	// slice growth and a conditional-arena growth straggler or two.
+	if limit := float64(n) + 2*math.Log2(float64(n+1)) + 8; allocs > limit {
+		t.Errorf("steady-state Mine allocates %.0f for %d itemsets, want <= %.0f (output-bounded)", allocs, n, limit)
+	}
+}

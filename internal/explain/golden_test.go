@@ -106,7 +106,12 @@ func shardOf(attrs []int32, p int) int {
 	return int(h % uint64(p))
 }
 
-func goldenStreamingRun(labeled []core.LabeledPoint, cfg StreamingConfig, decayEvery int) string {
+// goldenStreamingRun replays the workload and returns the cold
+// (first, fully mined) and warm (repeated, cache-served) poll outputs.
+// Mid-stream polls are issued along the way: the incremental mining
+// cache must be side-effect-free, so a polled-while-running explainer
+// still has to reproduce the committed golden files bit-for-bit.
+func goldenStreamingRun(labeled []core.LabeledPoint, cfg StreamingConfig, decayEvery int) (cold, warm string) {
 	s := NewStreaming(cfg)
 	for i := 0; i < len(labeled); i += 500 {
 		end := i + 500
@@ -117,14 +122,21 @@ func goldenStreamingRun(labeled []core.LabeledPoint, cfg StreamingConfig, decayE
 		if (i/500)%(decayEvery/500) == decayEvery/500-1 {
 			s.Decay()
 		}
+		if (i/500)%7 == 3 {
+			s.Explanations() // mid-stream poll: warms and invalidates the cache repeatedly
+		}
 	}
-	return goldenFormat(s.Explanations())
+	return goldenFormat(s.Explanations()), goldenFormat(s.Explanations())
 }
 
 // goldenShardedRun partitions the stream across 3 explainers, decaying
 // all shards on a shared clock, then reconciles via clone + merge —
-// the same protocol the sharded engine's poll path uses.
-func goldenShardedRun(labeled []core.LabeledPoint, cfg StreamingConfig, decayEvery int) string {
+// the same protocol the sharded engine's poll path uses. The cold
+// output is a resident PollMerger's first merged poll (a full mine,
+// identical to MergeStreaming by the differential tests); the warm
+// output is the merger's second poll over fresh clones of unchanged
+// shards, served from its cache.
+func goldenShardedRun(labeled []core.LabeledPoint, cfg StreamingConfig, decayEvery int) (cold, warm string) {
 	const p = 3
 	shards := make([]*Streaming, p)
 	bufs := make([][]core.LabeledPoint, p)
@@ -149,7 +161,15 @@ func goldenShardedRun(labeled []core.LabeledPoint, cfg StreamingConfig, decayEve
 			}
 		}
 	}
-	return goldenFormat(MergeStreaming(shards))
+	merger := NewPollMerger()
+	clones := func() []*Streaming {
+		out := make([]*Streaming, p)
+		for j := range shards {
+			out[j] = shards[j].Clone()
+		}
+		return out
+	}
+	return goldenFormat(merger.Merge(clones())), goldenFormat(merger.Merge(clones()))
 }
 
 func checkGolden(t *testing.T, name, got string) {
@@ -182,10 +202,18 @@ func TestGoldenStreamingExplanations(t *testing.T) {
 	}{{"CMT", 40_000, 17}, {"Liquor", 40_000, 23}} {
 		labeled := goldenWorkload(t, w.name, w.n, w.seed)
 		t.Run(w.name+"/sequential", func(t *testing.T) {
-			checkGolden(t, "golden_"+w.name+"_seq.txt", goldenStreamingRun(labeled, cfg, 8000))
+			cold, warm := goldenStreamingRun(labeled, cfg, 8000)
+			checkGolden(t, "golden_"+w.name+"_seq.txt", cold)
+			if warm != cold {
+				t.Errorf("warm cached poll diverged from cold poll:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+			}
 		})
 		t.Run(w.name+"/sharded", func(t *testing.T) {
-			checkGolden(t, "golden_"+w.name+"_sharded.txt", goldenShardedRun(labeled, cfg, 9000))
+			cold, warm := goldenShardedRun(labeled, cfg, 9000)
+			checkGolden(t, "golden_"+w.name+"_sharded.txt", cold)
+			if warm != cold {
+				t.Errorf("warm cached poll diverged from cold poll:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+			}
 		})
 	}
 }

@@ -1,6 +1,12 @@
 package explain
 
-import "macrobase/internal/core"
+import (
+	"slices"
+
+	"macrobase/internal/core"
+
+	"macrobase/internal/fptree"
+)
 
 // This file makes the streaming explainer's summary state mergeable so
 // that MacroBase's sharded streaming engine can keep shared-nothing
@@ -15,7 +21,11 @@ import "macrobase/internal/core"
 // Clone returns a deep copy of the explainer's summary state (sketches,
 // trees, class totals). A shard worker hands clones to the merge stage
 // between batches and keeps consuming; the clone never observes later
-// writes.
+// writes. The incremental-mining cache travels with the clone (the
+// cached slices are immutable once stored, so sharing them is safe and
+// the tree epochs keep the keys valid across the copy); the hit/miss
+// counters do not — a clone starts counting from zero so per-poll
+// deltas are attributable.
 func (s *Streaming) Clone() *Streaming {
 	return &Streaming{
 		cfg:      s.cfg,
@@ -25,6 +35,14 @@ func (s *Streaming) Clone() *Streaming {
 		inTree:   s.inTree.Clone(),
 		totalOut: s.totalOut,
 		totalIn:  s.totalIn,
+
+		mineCache:      s.mineCache,
+		mineCacheMin:   s.mineCacheMin,
+		mineCacheEpoch: s.mineCacheEpoch,
+		mineCacheOK:    s.mineCacheOK,
+		fullCache:      s.fullCache,
+		fullCacheKey:   s.fullCacheKey,
+		fullCacheOK:    s.fullCacheOK,
 	}
 }
 
@@ -73,4 +91,142 @@ func MergeStreamingInto(shards []*Streaming) []core.Explanation {
 		m.Merge(sh)
 	}
 	return m.Explanations()
+}
+
+// Signature is a constant-time fingerprint of an explainer's summary
+// state: the two tree epochs plus the class totals — the same
+// quadruple the internal explanation cache keys on (see cacheKey for
+// why it covers the sketches too). Within one clone lineage, equal
+// signatures imply identical summary state.
+type Signature struct {
+	OutEpoch, InEpoch uint64
+	TotalOut, TotalIn float64
+}
+
+// Signature returns the explainer's current state fingerprint.
+func (s *Streaming) Signature() Signature {
+	return Signature{
+		OutEpoch: s.outTree.Epoch(),
+		InEpoch:  s.inTree.Epoch(),
+		TotalOut: s.totalOut,
+		TotalIn:  s.totalIn,
+	}
+}
+
+// outSide reports whether two signatures agree on the outlier side —
+// the inputs the mined itemset table depends on.
+func outSideEqual(a, b Signature) bool {
+	return a.OutEpoch == b.OutEpoch && a.TotalOut == b.TotalOut
+}
+
+// adoptMineCache installs a mined itemset table produced by an earlier
+// poll over a structurally identical outlier tree. The caller
+// (PollMerger) proves identity via per-shard signatures before
+// adopting; the table is tagged with the tree's *current* epoch so the
+// reuse check in Explanations passes exactly when minCount also
+// matches. Unexported on purpose: adopting a table that was not mined
+// from an identical tree silently corrupts results.
+func (s *Streaming) adoptMineCache(tab []fptree.Itemset, minCount float64) {
+	s.mineCache = tab
+	s.mineCacheMin = minCount
+	s.mineCacheEpoch = s.outTree.Epoch()
+	s.mineCacheOK = true
+}
+
+// PollMerger serves a resident session's repeated merged polls
+// incrementally. A session keeps one PollMerger alive across polls;
+// each Merge call receives fresh per-shard snapshot clones and
+// reconciles them, reusing work from the previous poll when the
+// per-shard signatures prove the state unchanged:
+//
+//   - if no shard moved at all, the previous ranked output is returned
+//     without touching the clones (a full hit);
+//   - if only inlier sides moved, the previous poll's mined itemset
+//     table is injected into the merged explainer, which then skips
+//     its FPGrowth mine and recomputes only the filtering/ranking;
+//   - any outlier-side movement (new outliers, a decay tick, a shard
+//     count change) invalidates the mined table and the merge runs in
+//     full.
+//
+// Both incremental paths are bit-identical to a full recompute. A
+// PollMerger is not safe for concurrent use; the session serializes
+// polls around it.
+type PollMerger struct {
+	sigs       []Signature // per-shard signatures at the last poll
+	valid      bool
+	exps       []core.Explanation // last merged ranked output
+	mineTab    []fptree.Itemset   // last merged mined table
+	mineMin    float64
+	mineOK     bool
+	stats      CacheStats
+	sigScratch []Signature
+}
+
+// NewPollMerger returns an empty merger; its first Merge always runs
+// in full.
+func NewPollMerger() *PollMerger { return &PollMerger{} }
+
+// Stats reports cumulative cache counters across every poll served by
+// this merger.
+func (m *PollMerger) Stats() CacheStats { return m.stats }
+
+// Merge reconciles per-shard snapshot clones into one ranked
+// explanation set, incrementally when the signatures allow it. The
+// merger takes ownership of shards (they are mutated by the fold and
+// may be retained); callers pass throwaway clones, exactly like
+// MergeStreamingInto. The returned slice is the caller's.
+func (m *PollMerger) Merge(shards []*Streaming) []core.Explanation {
+	if len(shards) == 0 {
+		return nil
+	}
+	if shards[0].cfg.DisableCache {
+		// Force-disabled sessions skip every incremental path; the
+		// merger still counts the full mines its polls trigger.
+		exps := MergeStreamingInto(shards)
+		m.stats.Add(shards[0].stats)
+		return exps
+	}
+	sigs := m.sigScratch[:0]
+	for _, sh := range shards {
+		sigs = append(sigs, sh.Signature())
+	}
+	m.sigScratch = sigs
+	if m.valid && slices.Equal(sigs, m.sigs) {
+		// No shard moved since the last poll: the merged state would be
+		// identical, so the previous ranked output stands.
+		m.stats.FullHits++
+		return slices.Clone(m.exps)
+	}
+	outSame := m.valid && len(sigs) == len(m.sigs)
+	if outSame {
+		for i := range sigs {
+			if !outSideEqual(sigs[i], m.sigs[i]) {
+				outSame = false
+				break
+			}
+		}
+	}
+	dst := shards[0]
+	for _, sh := range shards[1:] {
+		dst.Merge(sh)
+	}
+	if outSame && m.mineOK {
+		// Every outlier side is unchanged, so the merged outlier tree —
+		// a deterministic fold of the per-shard trees — is identical to
+		// the previous poll's, and so is its mining threshold (the
+		// merged totalOut is the same sum). The previous mined table is
+		// therefore exact. It is adopted tagged with its own original
+		// threshold: Explanations re-checks that against the current
+		// minCount and falls back to a full mine on any mismatch.
+		dst.adoptMineCache(m.mineTab, m.mineMin)
+	}
+	exps := dst.Explanations()
+	m.stats.Add(dst.stats) // clones start at zero, so this is this poll's outcome
+	// Harvest the merged mine for the next poll and remember the
+	// pre-merge shard signatures it corresponds to.
+	m.mineTab, m.mineMin, m.mineOK = dst.mineCache, dst.mineCacheMin, dst.mineCacheOK
+	m.sigs = append(m.sigs[:0], sigs...)
+	m.exps = exps
+	m.valid = true
+	return slices.Clone(exps)
 }

@@ -1,8 +1,11 @@
 package explain
 
 import (
+	"slices"
+
 	"macrobase/internal/core"
 	"macrobase/internal/cps"
+	"macrobase/internal/fptree"
 	"macrobase/internal/sketch"
 )
 
@@ -33,6 +36,12 @@ type StreamingConfig struct {
 	// Bonferroni corrects the confidence level for the number of
 	// combinations tested.
 	Bonferroni bool
+	// DisableCache forces every Explanations call down the full
+	// recompute path (fresh FPGrowth mine, fresh filtering). The cached
+	// and uncached paths produce identical output — the differential
+	// tests pin that — so this exists for testing and for callers that
+	// poll once and want no retained mining state.
+	DisableCache bool
 }
 
 func (c StreamingConfig) withDefaults() StreamingConfig {
@@ -80,7 +89,69 @@ type Streaming struct {
 	freqItems  []int32
 	freqCounts []float64
 	qualified  []bool
+
+	// Incremental mining cache (see Explanations). Both levels are
+	// invalidated purely by key comparison — no explicit invalidation
+	// hooks — because every state change moves a key component: tree
+	// epochs advance on insert/restructure/merge, and the class totals
+	// move with every consumed point and decay tick. The cached slices
+	// are treated as immutable once stored (refreshes replace, never
+	// mutate), so clones may share them.
+	mineCache      []fptree.Itemset // last full FPGrowth output over outTree
+	mineCacheMin   float64          // the minCount it was mined at
+	mineCacheEpoch uint64           // outTree epoch it was mined at
+	mineCacheOK    bool
+	fullCache      []core.Explanation // last ranked output
+	fullCacheKey   cacheKey
+	fullCacheOK    bool
+	stats          CacheStats
 }
+
+// cacheKey captures every input of Explanations that can change
+// between polls: the two tree epochs cover all structural movement
+// (insert/restructure/merge), and the class totals cover sketch
+// movement — the sketches only change alongside a total or a tree
+// epoch (Consume bumps a total, Decay restructures both trees, Merge
+// bumps both epochs), so the quadruple is a sound cache key.
+type cacheKey struct {
+	outEpoch, inEpoch uint64
+	totalOut, totalIn float64
+}
+
+func (s *Streaming) cacheKeyNow() cacheKey {
+	return cacheKey{
+		outEpoch: s.outTree.Epoch(),
+		inEpoch:  s.inTree.Epoch(),
+		totalOut: s.totalOut,
+		totalIn:  s.totalIn,
+	}
+}
+
+// CacheStats counts how Explanations calls were served; the sharded
+// serving layer surfaces these per session so cache behavior is
+// observable in production.
+type CacheStats struct {
+	// FullHits are polls served entirely from the cached ranked output
+	// (no state moved since the last poll).
+	FullHits int64 `json:"fullHits"`
+	// MineReuses are polls that reused the cached mined itemset table
+	// (the outlier side was unchanged) and recomputed only the
+	// support/risk-ratio filtering against the moved inlier side.
+	MineReuses int64 `json:"mineReuses"`
+	// FullMines are polls that ran a full FPGrowth mine.
+	FullMines int64 `json:"fullMines"`
+}
+
+// Add accumulates o into c.
+func (c *CacheStats) Add(o CacheStats) {
+	c.FullHits += o.FullHits
+	c.MineReuses += o.MineReuses
+	c.FullMines += o.FullMines
+}
+
+// CacheStats reports how this explainer's Explanations calls were
+// served since construction (clones start from zero).
+func (s *Streaming) CacheStats() CacheStats { return s.stats }
 
 // NewStreaming returns a streaming explainer.
 func NewStreaming(cfg StreamingConfig) *Streaming {
@@ -165,9 +236,37 @@ func (s *Streaming) Decay() {
 // Explanations implements core.Explainer: it materializes the current
 // summary by mining the outlier tree and filtering by support and risk
 // ratio against the inlier structures.
+//
+// Mining is incremental across calls. Two cache levels serve repeated
+// polls, both keyed on (tree epochs, class totals) so they invalidate
+// exactly when the summary state moves:
+//
+//   - a full-result cache returns the previous ranked output when
+//     nothing changed at all (the steady-state poll of a resident
+//     session);
+//   - a mined-table cache reuses the previous FPGrowth output when
+//     only the inlier side moved (outTree epoch and totalOut
+//     unchanged — the common case under a mostly-inlier stream),
+//     recomputing just the support counting, risk-ratio filtering,
+//     and ranking.
+//
+// A full re-mine therefore happens only when the outlier side itself
+// changed: new outlier points or a decay-tick restructure. Both cached
+// paths are bit-identical to a full recompute (the differential tests
+// pin this): a full hit replays a result computed from identical
+// state, and a mine reuse requires the identical tree and threshold,
+// under which FPGrowth is deterministic.
 func (s *Streaming) Explanations() []core.Explanation {
 	if s.totalOut <= 0 {
 		return nil
+	}
+	key := s.cacheKeyNow()
+	if !s.cfg.DisableCache && s.fullCacheOK && key == s.fullCacheKey {
+		s.stats.FullHits++
+		// Hand out a fresh slice (callers may re-sort or decorate);
+		// the Explanation structs and their ItemIDs are shared and
+		// treated as immutable, like any poll result.
+		return slices.Clone(s.fullCache)
 	}
 	minCount := s.cfg.MinSupport * s.totalOut
 
@@ -203,8 +302,26 @@ func (s *Streaming) Explanations() []core.Explanation {
 		})
 	})
 
-	// Combinations from the outlier M-CPS-tree.
-	for _, is := range s.outTree.Mine(minCount, s.cfg.MaxItems) {
+	// Combinations from the outlier M-CPS-tree: reuse the cached mined
+	// table when the outlier side is provably unchanged (same tree
+	// epoch, same threshold — totalOut is part of minCount), otherwise
+	// re-mine and refresh the cache.
+	var mined []fptree.Itemset
+	if !s.cfg.DisableCache && s.mineCacheOK &&
+		s.mineCacheEpoch == key.outEpoch && s.mineCacheMin == minCount {
+		mined = s.mineCache
+		s.stats.MineReuses++
+	} else {
+		mined = s.outTree.Mine(minCount, s.cfg.MaxItems)
+		s.stats.FullMines++
+		if !s.cfg.DisableCache {
+			s.mineCache = mined
+			s.mineCacheMin = minCount
+			s.mineCacheEpoch = key.outEpoch
+			s.mineCacheOK = true
+		}
+	}
+	for _, is := range mined {
 		if len(is.Items) < 2 {
 			continue // singles already covered by the sketch
 		}
@@ -236,6 +353,12 @@ func (s *Streaming) Explanations() []core.Explanation {
 	}
 	attachCIs(exps, s.cfg.Confidence, s.cfg.Bonferroni, tested)
 	Rank(exps)
+	if !s.cfg.DisableCache {
+		s.fullCache = exps
+		s.fullCacheKey = key
+		s.fullCacheOK = true
+		return slices.Clone(exps)
+	}
 	return exps
 }
 

@@ -12,13 +12,17 @@
 // Conditional trees built during mining live in the parent tree's rank
 // space — token domains shrink at every recursion level, so a
 // conditional tree's tables are proportional to its parent's item
-// count, never to the global id universe. A Tree is not safe for
-// concurrent use.
+// count, never to the global id universe.
+//
+// Trees and miners are reusable: BuildInto rebuilds a tree in place on
+// its previous slabs, and MineWith threads a Miner whose per-depth
+// conditional-tree frames recycle their arenas across calls, so a
+// steady-state mine allocates only its output itemsets. A Tree or
+// Miner is not safe for concurrent use.
 package fptree
 
 import (
 	"slices"
-	"sort"
 
 	"macrobase/internal/itemtree"
 )
@@ -38,9 +42,35 @@ type Tree struct {
 	// labels maps token -> global attribute id; nil means tokens are
 	// ids (every Build-constructed tree). Conditional trees share
 	// their parent's rank-to-id table here.
-	labels   []int32
-	idsCache []int32 // lazily built rank -> id table shared with conditionals
-	scratch  []int32
+	labels []int32
+
+	// Reusable scratch: ids is the lazily built rank -> id table shared
+	// with conditionals (idsValid marks it current for this build);
+	// buildCounts stages per-token totals during (re)builds; pathBuf
+	// holds prefix paths replayed into conditionals.
+	ids         []int32
+	idsValid    bool
+	buildCounts []float64
+	pathBuf     []int32
+	scratch     []int32
+}
+
+// Miner owns the conditional FP-trees built during mining, one
+// reusable frame per recursion depth, so repeated mines recycle their
+// arena slabs instead of rebuilding them from the allocator. The
+// zero value is ready to use.
+type Miner struct {
+	frames []*Tree
+}
+
+// frame returns the reusable conditional tree for recursion depth d.
+// A frame is reused serially: at any moment each depth hosts at most
+// one live conditional (the one on the current recursion path).
+func (m *Miner) frame(d int) *Tree {
+	for d >= len(m.frames) {
+		m.frames = append(m.frames, &Tree{})
+	}
+	return m.frames[d]
 }
 
 // idOf translates a token to its global attribute id.
@@ -56,7 +86,17 @@ func (t *Tree) idOf(tok int32) int32 {
 // be nil (all transactions count 1). Items within a transaction must
 // be distinct; order is irrelevant. Negative ids are ignored.
 func Build(txs [][]int32, weights []float64, minCount float64) *Tree {
-	var counts []float64
+	t := &Tree{}
+	BuildInto(t, txs, weights, minCount)
+	return t
+}
+
+// BuildInto is Build reusing t's storage: the arena slabs, rank
+// tables, and scratch of a previously built tree are recycled, so a
+// steady-state rebuild (the M-CPS-tree's per-mine replay) touches the
+// allocator only to grow capacity.
+func BuildInto(t *Tree, txs [][]int32, weights []float64, minCount float64) {
+	counts := t.buildCounts[:0]
 	for ti, tx := range txs {
 		w := 1.0
 		if weights != nil {
@@ -72,7 +112,8 @@ func Build(txs [][]int32, weights []float64, minCount float64) *Tree {
 			counts[it] += w
 		}
 	}
-	t := newTree(counts, minCount, nil)
+	t.buildCounts = counts
+	t.init(counts, minCount, nil)
 	for ti, tx := range txs {
 		w := 1.0
 		if weights != nil {
@@ -80,16 +121,17 @@ func Build(txs [][]int32, weights []float64, minCount float64) *Tree {
 		}
 		t.Insert(tx, w)
 	}
-	return t
 }
 
-// newTree prepares an empty tree whose item order is the frequency-
-// descending order of counts (a dense token-indexed table), restricted
-// to tokens with count >= minCount. labels, when non-nil, maps tokens
-// to global ids for itemset output.
-func newTree(counts []float64, minCount float64, labels []int32) *Tree {
-	t := &Tree{labels: labels}
-	t.arena.Init()
+// init prepares the tree (in place, reusing prior storage) with the
+// frequency-descending order of counts (a dense token-indexed table),
+// restricted to tokens with count >= minCount. labels, when non-nil,
+// maps tokens to global ids for itemset output.
+func (t *Tree) init(counts []float64, minCount float64, labels []int32) {
+	t.labels = labels
+	t.idsValid = false
+	t.arena.Reset()
+	t.order = t.order[:0]
 	for tok, c := range counts {
 		if c >= minCount && c > 0 {
 			t.order = append(t.order, int32(tok))
@@ -109,15 +151,14 @@ func newTree(counts []float64, minCount float64, labels []int32) *Tree {
 		}
 		return 0
 	})
-	t.rank = make([]int32, len(counts))
-	for i := range t.rank {
-		t.rank[i] = -1
+	t.rank = t.rank[:0]
+	for range counts {
+		t.rank = append(t.rank, -1)
 	}
 	for i, tok := range t.order {
 		t.rank[tok] = int32(i)
 		t.arena.AddRank(itemtree.Header{Count: counts[tok]})
 	}
-	return t
 }
 
 // rankOf returns the token's rank or -1.
@@ -165,19 +206,30 @@ func (t *Tree) Items() []int32 { return t.order }
 // minCount. maxItems, when positive, bounds the itemset size.
 // The output includes singleton itemsets.
 func (t *Tree) Mine(minCount float64, maxItems int) []Itemset {
+	var m Miner
+	return t.MineWith(&m, minCount, maxItems)
+}
+
+// MineWith is Mine with a caller-owned Miner: the conditional trees
+// built during the FPGrowth recursion reuse the miner's per-depth
+// arena frames, so repeated mines (the streaming explainer's poll
+// path) allocate only the returned itemsets.
+func (t *Tree) MineWith(m *Miner, minCount float64, maxItems int) []Itemset {
 	var out []Itemset
-	t.mine(minCount, maxItems, nil, &out)
-	// Canonicalize item order within each set.
+	t.mine(m, 0, minCount, maxItems, nil, &out)
+	// Canonicalize item order within each set. slices.Sort keeps the
+	// per-itemset cost allocation-free (a sort.Slice closure would
+	// allocate once per mined set).
 	for i := range out {
-		s := out[i].Items
-		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		slices.Sort(out[i].Items)
 	}
 	return out
 }
 
 // mine recursively grows patterns ending in each item, least frequent
-// first. suffix carries global ids.
-func (t *Tree) mine(minCount float64, maxItems int, suffix []int32, out *[]Itemset) {
+// first. suffix carries global ids; depth indexes the miner's
+// conditional-tree frames.
+func (t *Tree) mine(m *Miner, depth int, minCount float64, maxItems int, suffix []int32, out *[]Itemset) {
 	for i := len(t.order) - 1; i >= 0; i-- {
 		tok := t.order[i]
 		total := t.arena.ChainCount(int32(i))
@@ -191,56 +243,63 @@ func (t *Tree) mine(minCount float64, maxItems int, suffix []int32, out *[]Items
 		if maxItems > 0 && len(items) >= maxItems {
 			continue
 		}
-		cond := t.conditional(int32(i), minCount)
+		cond := m.frame(depth)
+		t.conditionalInto(cond, int32(i), minCount)
 		if len(cond.order) > 0 {
-			cond.mine(minCount, maxItems, items, out)
+			cond.mine(m, depth+1, minCount, maxItems, items, out)
 		}
 	}
 }
 
 // idByRank materializes the rank -> global id table handed to
-// conditional trees as their label mapping. The table is immutable
-// after build, so it is computed once and shared by every conditional.
+// conditional trees as their label mapping. The table is immutable for
+// the lifetime of one build, so it is computed once and shared by
+// every conditional; the backing buffer is recycled across rebuilds.
 func (t *Tree) idByRank() []int32 {
-	if t.idsCache == nil {
-		ids := make([]int32, len(t.order))
-		for r, tok := range t.order {
-			ids[r] = t.idOf(tok)
+	if !t.idsValid {
+		t.ids = t.ids[:0]
+		for _, tok := range t.order {
+			t.ids = append(t.ids, t.idOf(tok))
 		}
-		t.idsCache = ids
+		t.idsValid = true
 	}
-	return t.idsCache
+	return t.ids
 }
 
-// conditional builds the conditional FP-tree for the item at rank r:
-// the prefix paths of every node carrying the item, weighted by that
-// node's count. The conditional tree's tokens are this tree's ranks —
-// a dense domain of size len(t.order) — so its tables stay proportional
-// to the parent's item count regardless of the global id universe.
-func (t *Tree) conditional(r int32, minCount float64) *Tree {
+// conditionalInto builds the conditional FP-tree for the item at rank
+// r into dst (reusing dst's storage): the prefix paths of every node
+// carrying the item, weighted by that node's count. The conditional
+// tree's tokens are this tree's ranks — a dense domain of size
+// len(t.order) — so its tables stay proportional to the parent's item
+// count regardless of the global id universe.
+func (t *Tree) conditionalInto(dst *Tree, r int32, minCount float64) {
 	nodes := t.arena.Nodes
-	counts := make([]float64, len(t.order))
+	counts := dst.buildCounts[:0]
+	for range t.order {
+		counts = append(counts, 0)
+	}
+	dst.buildCounts = counts
 	for n := t.arena.Headers[r].Head; n != itemtree.NilIdx; n = nodes[n].Link {
 		w := nodes[n].Count
 		for p := nodes[n].Parent; p != itemtree.NilIdx; p = nodes[p].Parent {
 			counts[t.rank[nodes[p].Item]] += w
 		}
 	}
-	cond := newTree(counts, minCount, t.idByRank())
-	if len(cond.order) == 0 {
-		return cond
+	dst.init(counts, minCount, t.idByRank())
+	if len(dst.order) == 0 {
+		return
 	}
-	var path []int32
+	path := dst.pathBuf[:0]
 	for n := t.arena.Headers[r].Head; n != itemtree.NilIdx; n = nodes[n].Link {
 		path = path[:0]
 		for p := nodes[n].Parent; p != itemtree.NilIdx; p = nodes[p].Parent {
 			path = append(path, t.rank[nodes[p].Item])
 		}
 		if len(path) > 0 {
-			cond.Insert(path, nodes[n].Count)
+			dst.Insert(path, nodes[n].Count)
 		}
 	}
-	return cond
+	dst.pathBuf = path
 }
 
 // ItemsetSupport returns the total weight of transactions containing

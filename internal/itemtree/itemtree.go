@@ -54,10 +54,10 @@ func (a *Arena) Init() {
 }
 
 // Reset truncates the arena back to the root and clears the per-rank
-// tables, keeping all capacity.
+// tables, keeping all capacity. Resetting a zero-value Arena is
+// equivalent to Init, so pooled trees need no separate initialization.
 func (a *Arena) Reset() {
-	a.Nodes = a.Nodes[:1]
-	a.Nodes[0] = Node{}
+	a.Nodes = append(a.Nodes[:0], Node{})
 	a.Headers = a.Headers[:0]
 	a.RootChild = a.RootChild[:0]
 }

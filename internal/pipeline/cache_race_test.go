@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"macrobase/internal/core"
+	"macrobase/internal/gen"
+)
+
+// TestStreamSessionConcurrentPollCacheRace hammers Poll from several
+// goroutines while ingest keeps mutating shard state (bumping tree
+// epochs and totals, i.e. invalidating the session's poll cache
+// mid-flight). Run under -race this pins the cache's concurrency
+// contract; the in-test assertions pin that no poll ever observes a
+// torn result: every explanation in one poll must be computed against
+// the same merged class totals, and the cumulative cache counters must
+// account for exactly the polls served and never move backwards.
+func TestStreamSessionConcurrentPollCacheRace(t *testing.T) {
+	d := gen.Devices(gen.DeviceConfig{Points: 30_000, Devices: 200, Seed: 7})
+	i := 0
+	src := core.NewFuncSource(1024, func(dst []core.Point) int {
+		for j := range dst {
+			dst[j] = d.Points[i%len(d.Points)]
+			i++
+		}
+		return len(dst)
+	})
+	cfg := Config{Dims: 1, MinSupport: 0.005, DecayEveryPoints: 8_000, Seed: 3}
+	sess, err := StartShardedStream(src, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up until the stream has outliers to explain: polls before
+	// that return early without touching the mining cache, which would
+	// make the exact counter accounting below racy.
+	var base int64
+	for {
+		res, err := sess.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Explanations) > 0 {
+			base = res.Cache.FullHits + res.Cache.MineReuses + res.Cache.FullMines
+			break
+		}
+	}
+
+	const pollers = 4
+	const pollsEach = 60
+	var wg sync.WaitGroup
+	errs := make(chan string, pollers*pollsEach)
+	for g := 0; g < pollers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for k := 0; k < pollsEach; k++ {
+				res, err := sess.Poll()
+				if err != nil {
+					errs <- "poll: " + err.Error()
+					return
+				}
+				// Torn-result check: a merged explanation set is
+				// computed from one consistent snapshot, so every
+				// explanation carries the same class totals.
+				for i := 1; i < len(res.Explanations); i++ {
+					if res.Explanations[i].TotalOutliers != res.Explanations[0].TotalOutliers ||
+						res.Explanations[i].TotalInliers != res.Explanations[0].TotalInliers {
+						errs <- "torn poll: explanations mix class totals from different merges"
+						return
+					}
+				}
+				served := res.Cache.FullHits + res.Cache.MineReuses + res.Cache.FullMines
+				if served < last {
+					errs <- "cache counters went backwards"
+					return
+				}
+				last = served
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	final, err := sess.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := final.Cache.FullHits + final.Cache.MineReuses + final.Cache.FullMines
+	// Every live poll plus the final reconciliation goes through the
+	// session merger, so the counters must account for all of them.
+	if want := base + int64(pollers*pollsEach) + 1; served != want {
+		t.Errorf("cache counters served %d polls, want %d (%+v)", served, want, final.Cache)
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	// Trainer, when non-nil, replaces the default MAD/MCD model
 	// selection.
 	Trainer classify.Trainer
+	// DisableExplainCache forces every explanation poll down the full
+	// recompute path (no cached ranked output, no mined-table reuse).
+	// Output is identical either way; this exists for benchmarking the
+	// cache and for paranoid deployments.
+	DisableExplainCache bool
 	// Seed fixes all randomized components.
 	Seed uint64
 }

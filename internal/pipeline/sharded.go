@@ -20,6 +20,12 @@ type ShardedResult struct {
 	// explanation lists, the merge happens at the summary level, so
 	// support and risk ratios are computed over the combined counts.
 	Explanations []core.Explanation
+	// Cache reports the session's cumulative explanation-cache counters
+	// (full hits, mined-table reuses, full mines) as of this result.
+	// Populated for StreamSession polls and final results; a one-shot
+	// RunShardedStream merges exactly once and reports that single full
+	// mine.
+	Cache explain.CacheStats
 }
 
 // newShardPipeline builds shard s's MDP operator replicas. Shard seeds
@@ -39,6 +45,7 @@ func newShardPipeline(cfg Config, shard int) core.ShardPipeline {
 			AMCSize:      cfg.AMCSize,
 			MaxItems:     cfg.MaxItems,
 			Confidence:   cfg.Confidence,
+			DisableCache: cfg.DisableExplainCache,
 		}),
 	}
 	if pl.Classifier == nil {
@@ -110,7 +117,16 @@ func RunShardedStream(src core.Source, cfg Config, shards int) (*ShardedResult, 
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedResult{Stats: stats, Explanations: explain.MergeStreaming(explainers)}, nil
+	// A throwaway merger reports the run's (single) mine in Cache with
+	// the same counters a resident session exposes. The run owns the
+	// explainers outright once Run returns, so the in-place fold is
+	// safe.
+	merger := explain.NewPollMerger()
+	return &ShardedResult{
+		Stats:        stats,
+		Explanations: merger.Merge(explainers),
+		Cache:        merger.Stats(),
+	}, nil
 }
 
 // StreamSession is a long-lived sharded streaming query: Start launches
@@ -126,6 +142,16 @@ type StreamSession struct {
 	stopFlag atomic.Bool
 	done     chan struct{}
 
+	// merger carries the incremental poll cache across polls: repeated
+	// polls over unchanged shard state are answered from the previous
+	// merged result, and inlier-only movement reuses the previous
+	// poll's mined itemset table (see explain.PollMerger). pollMu
+	// serializes merger access — snapshots themselves still fan out
+	// concurrently, so overlapping Poll calls contend only on the
+	// merge/cache step.
+	pollMu sync.Mutex
+	merger *explain.PollMerger
+
 	mu    sync.Mutex
 	final *ShardedResult
 	err   error
@@ -139,7 +165,7 @@ func StartShardedStream(src core.Source, cfg Config, shards int) (*StreamSession
 	if err := validateSharded(cfg, shards); err != nil {
 		return nil, err
 	}
-	s := &StreamSession{done: make(chan struct{})}
+	s := &StreamSession{done: make(chan struct{}), merger: explain.NewPollMerger()}
 	explainers := make([]*explain.Streaming, shards)
 	s.runner = &core.StreamRunner{
 		Source: src,
@@ -164,7 +190,16 @@ func StartShardedStream(src core.Source, cfg Config, shards int) (*StreamSession
 		stats, err := s.runner.Run()
 		res := &ShardedResult{Stats: stats}
 		if err == nil || err == core.ErrStopped {
-			res.Explanations = explain.MergeStreaming(explainers)
+			// The final reconciliation goes through the same merger as
+			// live polls: if nothing moved since the last poll (the
+			// common stop shape), the final result is a cache hit, and
+			// the counters in Cache stay cumulative across the session's
+			// whole lifetime. Run has returned, so this goroutine owns
+			// the shard explainers and the in-place fold is safe.
+			s.pollMu.Lock()
+			res.Explanations = s.merger.Merge(explainers)
+			res.Cache = s.merger.Stats()
+			s.pollMu.Unlock()
 		}
 		// The final result is materialized; drop the runner's closure
 		// references (explainer replicas, source, config) so a session
@@ -201,7 +236,11 @@ func (s *StreamSession) Done() bool {
 // statistics. While the stream runs, per-shard summary clones are
 // taken on the shard workers between batches and merged off to the
 // side, without pausing ingest; after termination it returns the
-// final result.
+// final result. Polls are served incrementally: when the per-shard
+// epoch signatures show no state movement since the previous poll the
+// merged result is replayed from the session cache, and inlier-only
+// movement reuses the previous poll's mined itemset table (Cache in
+// the result reports the cumulative counters).
 func (s *StreamSession) Poll() (*ShardedResult, error) {
 	for !s.Done() {
 		snaps, err := s.runner.Snapshot()
@@ -211,11 +250,20 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 				explainers[i] = v.(*explain.Streaming)
 			}
 			live := s.runner.LiveStats()
+			// The snapshots are poll-owned clones, so the consuming
+			// merge skips a redundant deep copy. The merger is shared
+			// session state: pollMu keeps each poll's signature check,
+			// merge, and cache refresh atomic, so an epoch bump
+			// observed by a concurrent poll can never publish a torn
+			// (signature-of-A, explanations-of-B) pair.
+			s.pollMu.Lock()
+			exps := s.merger.Merge(explainers)
+			cstats := s.merger.Stats()
+			s.pollMu.Unlock()
 			return &ShardedResult{
-				Stats: core.StreamStats{RunStats: live},
-				// The snapshots are poll-owned clones, so the
-				// consuming merge skips a redundant deep copy.
-				Explanations: explain.MergeStreamingInto(explainers),
+				Stats:        core.StreamStats{RunStats: live},
+				Explanations: exps,
+				Cache:        cstats,
 			}, nil
 		}
 		if err != core.ErrNotStreaming {
