@@ -1,25 +1,30 @@
 package main
 
 // Micro-benchmark mode (-bench) and the regression comparator
-// (-compare): mbbench runs the explanation hot-path kernels through
-// testing.Benchmark, embeds ns/op + allocs/op in the -json report, and
-// -compare fails the process (exit 1) when any kernel inflates more
-// than 2x in ns/op or allocs/op against a committed baseline report
-// (BENCH_PR3.json). CI runs the comparator on every push, so a hot
-// path can only regress past 2x by committing a new baseline.
+// (-compare): mbbench runs the explanation and ingest hot-path kernels
+// through testing.Benchmark, embeds ns/op + allocs/op in the -json
+// report, and -compare fails the process (exit 1) when any kernel
+// inflates more than 2x in ns/op or allocs/op against a committed
+// baseline report (BENCH_PR4.json). CI runs the comparator on every
+// push, so a hot path can only regress past 2x by committing a new
+// baseline.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 
 	"macrobase/internal/core"
 	"macrobase/internal/explain"
 	"macrobase/internal/fptree"
 	"macrobase/internal/gen"
+	"macrobase/internal/ingest"
+	"macrobase/internal/pipeline"
 )
 
 // benchResult is one kernel's measurement in the -json report.
@@ -152,6 +157,51 @@ func microBenchmarks() []benchResult {
 				s.Consume(inliers) // outlier side untouched: mined-table reuse
 				s.Explanations()
 			}
+		}),
+		runKernel("PushIngest/p3s4", func(b *testing.B) {
+			// Ingest-throughput kernel for the push-partitioned path:
+			// 3 concurrent producers feed a resident 4-shard session
+			// through ingest.Push; one op is one 1024-point batch
+			// pushed through the full pipeline (route + classify +
+			// explain), timed until the stream drains.
+			d := gen.Devices(gen.DeviceConfig{Points: 64_512, Devices: 400, Seed: 42})
+			const batchPts = 1024
+			var batches [][]core.Point
+			for off := 0; off+batchPts <= len(d.Points); off += batchPts {
+				batches = append(batches, d.Points[off:off+batchPts])
+			}
+			const producers = 3
+			src := ingest.NewPush(producers, 4)
+			sess, err := pipeline.StartPartitionedStream(src, pipeline.Config{
+				Dims: 1, MinSupport: 0.005, DecayEveryPoints: 100_000, Seed: 7,
+			}, 4)
+			if err != nil {
+				panic(err)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					pr := src.Producer(p)
+					ctx := context.Background()
+					for i := p; i < b.N; i += producers {
+						if err := pr.Send(ctx, batches[i%len(batches)]); err != nil {
+							return
+						}
+					}
+					pr.Close()
+				}(p)
+			}
+			wg.Wait()
+			// Closing every producer ends the stream naturally; Stop
+			// then just waits for the drain — part of the measured
+			// ingest cost.
+			if _, err := sess.Stop(); err != nil {
+				panic(err)
+			}
+			b.StopTimer()
 		}),
 		runKernel("FPGrowthMine", func(b *testing.B) {
 			txs := make([][]int32, 0, 20_000)

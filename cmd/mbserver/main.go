@@ -8,11 +8,17 @@
 //	POST /query                body: ingest.QueryConfig JSON; runs the
 //	                           query server-side over the configured CSV
 //	                           and returns ranked, decoded explanations
-//	POST /stream/start         body: QueryConfig JSON + "shards"; starts
+//	POST /stream/start         body: QueryConfig JSON + "shards" (+
+//	                           "partitions" with "input":"push"); starts
 //	                           a resident sharded streaming session and
 //	                           returns its id
 //	GET  /stream/{id}          polls the session's current reconciled
 //	                           explanation set without pausing ingest
+//	POST /stream/{id}/push     NDJSON point records pushed into a
+//	                           session started with "input":"push";
+//	                           ?partition=N pins a partition (default
+//	                           round-robin), ?eof=1 ends the stream
+//	                           after this request's points
 //	POST /stream/{id}/stop     halts the session and returns its final
 //	                           result (also DELETE /stream/{id})
 //
@@ -23,12 +29,24 @@
 //	id=$(curl -s localhost:8080/stream/start -d @query.json | jq -r .id)
 //	curl -s localhost:8080/stream/$id
 //	curl -s -X POST localhost:8080/stream/$id/stop
+//
+// Push ingestion (no server-side file at all — producers feed the
+// resident session directly, with backpressure):
+//
+//	id=$(curl -s localhost:8080/stream/start \
+//	    -d '{"input":"push","metrics":["power"],"attributes":["device"],"shards":4,"partitions":2}' | jq -r .id)
+//	curl -s localhost:8080/stream/$id/push --data-binary \
+//	    '{"metrics":[41.5],"attributes":{"device":"B264"}}'
+//	curl -s "localhost:8080/stream/$id/push?eof=1" --data-binary @points.ndjson
+//	curl -s -X POST localhost:8080/stream/$id/stop
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
@@ -36,6 +54,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"macrobase/internal/core"
@@ -70,6 +89,7 @@ func newMux(reg *streamRegistry) *http.ServeMux {
 	mux.HandleFunc("POST /query", handleQuery)
 	mux.HandleFunc("POST /stream/start", reg.handleStart)
 	mux.HandleFunc("GET /stream/{id}", reg.handlePoll)
+	mux.HandleFunc("POST /stream/{id}/push", reg.handlePush)
 	mux.HandleFunc("POST /stream/{id}/stop", reg.handleStop)
 	mux.HandleFunc("DELETE /stream/{id}", reg.handleStop)
 	return mux
@@ -176,12 +196,22 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // streamStartRequest is the /stream/start body: a query config plus
-// shard count. Streaming mode is implied.
+// shard count. Streaming mode is implied. With "input":"push" the
+// session has no server-side input at all: it is fed through
+// POST /stream/{id}/push across Partitions independent push
+// partitions.
 type streamStartRequest struct {
 	ingest.QueryConfig
 	// Shards is the worker count P (default 1).
 	Shards int `json:"shards,omitempty"`
+	// Partitions is the push-ingest partition count (push sessions
+	// only; default = shards). Each partition is an independent
+	// producer lane with its own ordering and backpressure.
+	Partitions int `json:"partitions,omitempty"`
 }
+
+// pushInput is the magic QueryConfig.Input selecting push ingestion.
+const pushInput = "push"
 
 // maxShards bounds the per-request worker count: a shard costs a
 // goroutine plus classifier/explainer replicas (~10K-element
@@ -191,22 +221,37 @@ type streamStartRequest struct {
 var maxShards = max(64, 4*runtime.GOMAXPROCS(0))
 
 // streamState is one resident streaming query with its encoder (ids
-// must decode with the encoder that interned them) and the open input
-// file, closed as soon as the stream terminates (closeOnce guards the
-// poll/stop race).
+// must decode with the encoder that interned them) and either the open
+// input file (CSV sessions; closed as soon as the stream terminates,
+// closeOnce guarding the poll/stop race) or the push source its
+// /push handlers feed.
 type streamState struct {
 	session   *pipeline.StreamSession
 	enc       *encode.Encoder
-	file      *os.File
+	file      *os.File // nil for push sessions
 	closeOnce sync.Once
+
+	// push ingestion state (nil for CSV sessions). nextPart deals
+	// unpinned push requests round-robin across partitions.
+	push     *ingest.Push
+	schema   ingest.Schema
+	nextPart atomic.Uint64
 }
 
 // reapFile closes the input file once the session no longer reads it.
 // Called whenever a handler observes the session done, so streams that
 // end naturally release their descriptor even if the client never
-// stops them.
+// stops them. Push sessions have no file; their producers are closed
+// instead so pending pushes fail fast.
 func (st *streamState) reapFile() {
-	st.closeOnce.Do(func() { st.file.Close() })
+	st.closeOnce.Do(func() {
+		if st.file != nil {
+			st.file.Close()
+		}
+		if st.push != nil {
+			st.push.CloseAll()
+		}
+	})
 }
 
 // maxSessions bounds concurrently resident streams; finished sessions
@@ -288,6 +333,14 @@ func (g *streamRegistry) handleStart(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("shards must be <= %d", maxShards), http.StatusBadRequest)
 		return
 	}
+	if req.Input == pushInput {
+		g.startPush(w, &req)
+		return
+	}
+	if req.Partitions != 0 {
+		http.Error(w, `partitions requires "input":"push"`, http.StatusBadRequest)
+		return
+	}
 	id, ok := g.reserve()
 	if !ok {
 		http.Error(w, fmt.Sprintf("too many resident streams (max %d); stop one first", maxSessions), http.StatusTooManyRequests)
@@ -316,6 +369,151 @@ func (g *streamRegistry) handleStart(w http.ResponseWriter, r *http.Request) {
 	}
 	g.install(id, &streamState{session: sess, enc: enc, file: f})
 	writeJSON(w, map[string]any{"id": id, "shards": req.Shards})
+}
+
+// pushQueueDepth bounds each push partition's in-flight batches: one
+// slow pipeline shows up as producer backpressure (a blocked /push
+// request), not as unbounded server-side buffering.
+const pushQueueDepth = 4
+
+// maxPushBody caps one /push request's body (~64 MB, on the order of
+// a million NDJSON points): a request is decoded in full before its
+// single Send, so this cap is what keeps a giant or endless chunked
+// upload from buffering unboundedly ahead of the bounded queue.
+const maxPushBody = 64 << 20
+
+// startPush launches a push-ingest session: no server-side input —
+// the returned id is fed through POST /stream/{id}/push.
+func (g *streamRegistry) startPush(w http.ResponseWriter, req *streamStartRequest) {
+	if req.Partitions == 0 {
+		req.Partitions = req.Shards
+	}
+	if req.Partitions < 0 || req.Partitions > maxShards {
+		http.Error(w, fmt.Sprintf("partitions must be in 1..%d", maxShards), http.StatusBadRequest)
+		return
+	}
+	id, ok := g.reserve()
+	if !ok {
+		http.Error(w, fmt.Sprintf("too many resident streams (max %d); stop one first", maxSessions), http.StatusTooManyRequests)
+		return
+	}
+	enc := encode.NewEncoder(req.Attributes...)
+	src := ingest.NewPush(req.Partitions, pushQueueDepth)
+	sess, err := pipeline.StartPartitionedStream(src, pipelineConfig(&req.QueryConfig), req.Shards)
+	if err != nil {
+		g.release(id)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	g.install(id, &streamState{session: sess, enc: enc, push: src, schema: req.Schema()})
+	writeJSON(w, map[string]any{"id": id, "shards": req.Shards, "partitions": src.NumPartitions()})
+}
+
+// pushRecord is one NDJSON line of POST /stream/{id}/push.
+type pushRecord struct {
+	// Metrics in the order the session's "metrics" config named them.
+	Metrics []float64 `json:"metrics"`
+	// Attributes maps attribute column name -> value; every configured
+	// attribute column must be present.
+	Attributes map[string]string `json:"attributes"`
+	// Time is the optional event time in seconds.
+	Time float64 `json:"time,omitempty"`
+}
+
+// handlePush appends NDJSON point records to a push session. The whole
+// request body becomes one batch on one partition (?partition=N pins
+// it; otherwise requests are dealt round-robin), so per-producer
+// ordering is preserved by pinning. Backpressure propagates: when the
+// pipeline is behind, the request blocks until the partition queue
+// drains or the client gives up. ?eof=1 closes every partition after
+// this request's points, ending the stream once drained.
+func (g *streamRegistry) handlePush(w http.ResponseWriter, r *http.Request) {
+	st, id, ok := g.lookup(r)
+	if !ok {
+		http.Error(w, "unknown stream "+id, http.StatusNotFound)
+		return
+	}
+	if st.push == nil {
+		http.Error(w, "stream "+id+` does not accept pushes (start it with "input":"push")`, http.StatusBadRequest)
+		return
+	}
+	if st.session.Done() {
+		st.reapFile()
+		http.Error(w, "stream "+id+" already finished", http.StatusConflict)
+		return
+	}
+	part := int(st.nextPart.Add(1)-1) % st.push.NumPartitions()
+	if v := r.URL.Query().Get("partition"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 || p >= st.push.NumPartitions() {
+			http.Error(w, fmt.Sprintf("partition must be in 0..%d", st.push.NumPartitions()-1), http.StatusBadRequest)
+			return
+		}
+		part = p
+	}
+	// One request is one batch, decoded fully before the Send, so the
+	// body must be bounded: past this cap producers have to split into
+	// several requests, and the partition queue's backpressure — not
+	// server memory — absorbs the burst.
+	body := http.MaxBytesReader(w, r.Body, maxPushBody)
+	pts, err := decodePushPoints(body, st)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if len(pts) > 0 {
+		// The request context bounds the backpressure wait: a client
+		// that disconnects releases its queue claim.
+		if err := st.push.Producer(part).Send(r.Context(), pts); err != nil {
+			status := http.StatusServiceUnavailable
+			if err == ingest.ErrProducerClosed {
+				status = http.StatusConflict
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+	}
+	eof := r.URL.Query().Get("eof") != ""
+	if eof {
+		st.push.CloseAll()
+	}
+	writeJSON(w, map[string]any{"accepted": len(pts), "partition": part, "eof": eof})
+}
+
+// decodePushPoints parses NDJSON records and encodes them into points
+// under the session's schema and encoder.
+func decodePushPoints(body io.Reader, st *streamState) ([]core.Point, error) {
+	dec := json.NewDecoder(body)
+	var pts []core.Point
+	for line := 1; ; line++ {
+		var rec pushRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return pts, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("record %d: %w", line, err)
+		}
+		if len(rec.Metrics) != len(st.schema.Metrics) {
+			return nil, fmt.Errorf("record %d: %d metrics, want %d (%v)", line, len(rec.Metrics), len(st.schema.Metrics), st.schema.Metrics)
+		}
+		p := core.Point{
+			Metrics: rec.Metrics,
+			Attrs:   make([]int32, len(st.schema.Attributes)),
+			Time:    rec.Time,
+		}
+		for j, col := range st.schema.Attributes {
+			v, ok := rec.Attributes[col]
+			if !ok {
+				return nil, fmt.Errorf("record %d: missing attribute %q", line, col)
+			}
+			p.Attrs[j] = st.enc.Encode(j, v)
+		}
+		pts = append(pts, p)
+	}
 }
 
 // lookup fetches a session by path id without removing it. Reserved

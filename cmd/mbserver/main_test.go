@@ -274,3 +274,142 @@ func TestStreamStartErrors(t *testing.T) {
 		t.Errorf("unknown id poll status %d, want 404", code)
 	}
 }
+
+// pushNDJSON posts NDJSON lines to a push stream and returns status +
+// decoded response.
+func pushNDJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+// TestStreamPushLifecycle: start a push session, feed it NDJSON from
+// several producer requests across partitions, poll, send eof, and
+// check the final report names the anomalous device.
+func TestStreamPushLifecycle(t *testing.T) {
+	srv := httptest.NewServer(newMux(newStreamRegistry()))
+	defer srv.Close()
+	body := `{"input":"push","metrics":["power"],"attributes":["device"],"minSupport":0.05,"decayEveryPoints":5000,"shards":2,"partitions":2}`
+	id := startStream(t, srv, body)
+	pushURL := srv.URL + "/stream/" + id + "/push"
+
+	// Anomalous dev7 at high power, background fleet at low power,
+	// pushed in chunks that alternate partitions round-robin.
+	rng := rand.New(rand.NewPCG(3, 4))
+	var chunk strings.Builder
+	total := 0
+	flush := func() {
+		if chunk.Len() == 0 {
+			return
+		}
+		code, out := pushNDJSON(t, pushURL, chunk.String())
+		if code != http.StatusOK {
+			t.Fatalf("push status %d", code)
+		}
+		if int(out["accepted"].(float64)) == 0 {
+			t.Fatal("push accepted nothing")
+		}
+		chunk.Reset()
+	}
+	for i := 0; i < 12_000; i++ {
+		dev := fmt.Sprintf("dev%d", rng.IntN(20))
+		v := 10 + rng.NormFloat64()*2
+		if dev == "dev7" && rng.Float64() < 0.5 {
+			v = 60 + rng.NormFloat64()*2
+		}
+		fmt.Fprintf(&chunk, "{\"metrics\":[%.4f],\"attributes\":{\"device\":%q}}\n", v, dev)
+		total++
+		if total%2000 == 0 {
+			flush()
+		}
+	}
+	flush()
+
+	// A live poll works while the stream is open.
+	var poll streamResponse
+	if code := getJSON(t, srv.URL+"/stream/"+id, &poll); code != http.StatusOK {
+		t.Fatalf("poll status %d", code)
+	}
+	if poll.Done {
+		t.Error("push stream reported done while producers are open")
+	}
+
+	// End the stream; the session drains and finishes on its own.
+	if code, out := pushNDJSON(t, pushURL+"?eof=1", ""); code != http.StatusOK || out["eof"] != true {
+		t.Fatalf("eof push: status %d, %v", code, out)
+	}
+	// Pushing after eof is a clean conflict, never a panic or a hang.
+	if code, _ := pushNDJSON(t, pushURL, `{"metrics":[1],"attributes":{"device":"dev1"}}`); code != http.StatusConflict && code != http.StatusServiceUnavailable {
+		t.Fatalf("post-eof push status %d, want conflict", code)
+	}
+
+	var final streamResponse
+	if code := postJSON(t, srv.URL+"/stream/"+id+"/stop", &final); code != http.StatusOK {
+		t.Fatalf("stop status %d", code)
+	}
+	if final.Points != total {
+		t.Errorf("final points %d, want %d", final.Points, total)
+	}
+	found := false
+	for _, e := range final.Explanations {
+		for _, a := range e.Attributes {
+			if a.Column == "device" && a.Value == "dev7" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("anomalous device not in final report: %+v", final.Explanations)
+	}
+}
+
+// TestStreamPushErrors covers push-specific rejections.
+func TestStreamPushErrors(t *testing.T) {
+	srv := httptest.NewServer(newMux(newStreamRegistry()))
+	defer srv.Close()
+
+	// partitions without push input.
+	resp, err := http.Post(srv.URL+"/stream/start", "application/json",
+		strings.NewReader(`{"input":"/nonexistent.csv","metrics":["m"],"attributes":["a"],"partitions":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("partitions on csv session: status %d", resp.StatusCode)
+	}
+
+	id := startStream(t, srv, `{"input":"push","metrics":["power"],"attributes":["device"],"shards":2}`)
+	pushURL := srv.URL + "/stream/" + id + "/push"
+	for name, tc := range map[string]struct {
+		url  string
+		body string
+	}{
+		"bad json":          {pushURL, `{"metrics":`},
+		"metric arity":      {pushURL, `{"metrics":[1,2],"attributes":{"device":"d"}}`},
+		"missing attribute": {pushURL, `{"metrics":[1],"attributes":{"other":"d"}}`},
+		"bad partition":     {pushURL + "?partition=99", `{"metrics":[1],"attributes":{"device":"d"}}`},
+	} {
+		if code, _ := pushNDJSON(t, tc.url, tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+	// Pushing to a CSV session is rejected.
+	csvPath := writeTestCSV(t)
+	csvID := startStream(t, srv, fmt.Sprintf(`{"input":%q,"metrics":["power"],"attributes":["device"],"minSupport":0.05}`, csvPath))
+	if code, _ := pushNDJSON(t, srv.URL+"/stream/"+csvID+"/push", `{"metrics":[1],"attributes":{"device":"d"}}`); code != http.StatusBadRequest {
+		t.Errorf("push to csv session: status %d, want 400", code)
+	}
+	postJSON(t, srv.URL+"/stream/"+id+"/stop", nil)
+	postJSON(t, srv.URL+"/stream/"+csvID+"/stop", nil)
+}

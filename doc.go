@@ -14,8 +14,9 @@
 //
 // Beyond the paper's single-core dataflow runtime (core.Runner), the
 // repo provides a shared-nothing sharded streaming engine
-// (core.StreamRunner, pipeline.RunShardedStream): an ingest goroutine
-// hash-partitions batches by attribute set across P shard workers over
+// (core.StreamRunner, pipeline.RunShardedStream): ingest goroutines —
+// one per source partition, see the ingest section below —
+// hash-partition batches by attribute set across P shard workers over
 // bounded channels; each shard owns its own transformer/classifier/
 // explainer replicas and local decay clock, so one shard is exactly
 // the paper's EWS pipeline over its hash partition. Per-shard
@@ -136,5 +137,61 @@
 // (fptree.BuildInto, fptree.Miner), so a steady-state mine allocates
 // only its output itemsets. Regression cover: cmd/mbbench -bench
 // measures the hot-path kernels and -compare fails CI on >2x ns/op or
-// allocs/op inflation against the committed BENCH_PR3.json baseline.
+// allocs/op inflation against the committed BENCH_PR4.json baseline.
+//
+// # Push-based partitioned ingest
+//
+// Fast data arrives from many producers at once, so the ingest layer
+// is partitioned and push-based rather than a single pull loop:
+//
+//   - Pull vs push. A legacy core.Source is a pull iterator (Next);
+//     the engine adapts it via core.SourcePartitions into one
+//     partition whose single ingest goroutine is the old pull loop,
+//     batch boundaries and all — adapted execution is bit-identical to
+//     the pre-partitioned engine (pinned by equivalence tests). A
+//     core.PartitionedSource instead exposes N independent
+//     context-aware streams (NextBatch(ctx, max)); core.StreamRunner
+//     runs one ingest goroutine per partition, and partition→shard
+//     routing happens inside each ingest goroutine, so the bounded
+//     per-shard channels are the only cross-goroutine hop and
+//     ingestion parallelizes before it ever serializes. Backends:
+//     ingest.PartitionedCSV (one partition per file/reader, shared
+//     encoder) and ingest.Push (N in-memory producer handles, which
+//     also back mbserver's POST /stream/{id}/push NDJSON endpoint).
+//
+//   - Backpressure. Every hop is a bounded channel: shard queues
+//     (QueueDepth batches) and push partition queues alike. A slow
+//     pipeline therefore surfaces as a blocked producer Send (or a
+//     blocked /push request), never as unbounded server-side
+//     buffering.
+//
+//   - Ordering. Points within one partition reach their shards in
+//     partition order; across partitions there is no ordering
+//     contract — the interleaving at a shard is scheduling-dependent.
+//     Undecayed summaries are order-insensitive, so multi-partition
+//     runs with deterministic classification reproduce the pull path
+//     exactly (pinned by a P=3 equivalence test); with decay ticks or
+//     adaptive thresholds, results may differ run-to-run within the
+//     usual sharded-EWS consistency bounds. One-partition sources have
+//     a total order and reproduce exactly, always.
+//
+//   - Deadline-aware stop. Stopping a session cancels the ingest
+//     context, which interrupts in-flight NextBatch calls — no polling
+//     between batches. For sources that honor no cancellation (a
+//     legacy Source blocked forever in Next, the limitation open since
+//     the sharded engine landed), StreamSession.StopContext bounds the
+//     wait: at its deadline the runner abandons the stuck ingest
+//     goroutines, workers drain what is already queued and flush, and
+//     the final reconciled result covers everything delivered before
+//     the stall. Snapshot servers are quiesced before Run returns, so
+//     the final merge never races a late snapshot clone.
+//
+// The poll path also elides snapshots: the session retains each
+// shard's newest snapshot clone with its epoch Signature and sends the
+// signatures as snapshot hints; a shard whose summary state is
+// provably unchanged answers signature-only and the retained snapshot
+// stands in, skipping the slab memcpy entirely. Steady-state polls of
+// a quiet stream therefore clone nothing at all —
+// CacheStats.SnapshotsElided, next to the other cache counters in the
+// /stream/{id} response, makes the savings observable per session.
 package macrobase

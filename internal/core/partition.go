@@ -1,0 +1,71 @@
+package core
+
+import "context"
+
+// PartitionStream is one partition of a partitioned source: an
+// independent, ordered stream of point batches consumed by exactly one
+// ingest goroutine. It is the push-era replacement for Source's pull
+// loop: NextBatch takes a context so a blocked read can be cancelled
+// mid-call, which is what makes session stop deadline-aware instead of
+// "whenever the source next returns".
+//
+// NextBatch returns at most max points. It returns ErrEndOfStream when
+// the partition is exhausted, and ctx.Err() promptly after ctx is
+// cancelled — including while blocked waiting for data. A non-empty
+// batch and an error may not be combined. Like Source, the returned
+// backing arrays must stay untouched until the next NextBatch call on
+// the same partition; the Metrics/Attrs slices inside the points must
+// not be reused at all (the engine shares them downstream).
+type PartitionStream interface {
+	NextBatch(ctx context.Context, max int) ([]Point, error)
+}
+
+// PartitionedSource produces points pre-split into independent
+// partitions — the runtime form of partitioned "fast data" ingest
+// (Kafka-style topic partitions, one CSV file per producer, N in-memory
+// producers). The sharded engine runs one ingest goroutine per
+// partition, each routing its own points to the shard workers, so
+// ingestion parallelizes before the first cross-goroutine hop instead
+// of serializing through a single pull loop.
+//
+// Partitions is called once before ingestion starts; the returned
+// streams are consumed concurrently, one goroutine each. Partitioning
+// carries no ordering contract across partitions — only points within
+// one partition stay ordered — so summaries downstream must be
+// order-insensitive across partitions (the mergeable-summary property
+// the sharded engine already relies on).
+type PartitionedSource interface {
+	Partitions() []PartitionStream
+}
+
+// sourcePartition adapts a legacy pull Source to a single
+// PartitionStream. The context is checked between Next calls only: a
+// Source whose Next blocks cannot be cancelled mid-call, which is
+// exactly the limitation StreamRunner.Abandon exists to cut short.
+type sourcePartition struct {
+	src Source
+}
+
+// NextBatch implements PartitionStream.
+func (p *sourcePartition) NextBatch(ctx context.Context, max int) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.src.Next(max)
+}
+
+// sourceAdapter wraps a Source as a one-partition PartitionedSource.
+type sourceAdapter struct {
+	part sourcePartition
+}
+
+// Partitions implements PartitionedSource.
+func (a *sourceAdapter) Partitions() []PartitionStream { return []PartitionStream{&a.part} }
+
+// SourcePartitions adapts a legacy pull Source into a one-partition
+// PartitionedSource: the single ingest goroutine consuming it is the
+// old ingest loop, batch boundaries and all, so adapted execution is
+// point-for-point identical to the pre-partitioned engine.
+func SourcePartitions(src Source) PartitionedSource {
+	return &sourceAdapter{part: sourcePartition{src: src}}
+}

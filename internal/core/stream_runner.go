@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -24,33 +25,64 @@ type ShardPipeline struct {
 // StreamStats aggregates a sharded run's statistics.
 type StreamStats struct {
 	// RunStats totals across shards. Points counts what the ingest
-	// loop partitioned; the remaining fields sum the shard workers'.
+	// goroutines partitioned; the remaining fields sum the shard
+	// workers'.
 	RunStats
 	// PerShard holds each shard worker's own statistics.
 	PerShard []RunStats
 }
 
 // StreamRunner executes a MacroBase pipeline sharded across P
-// shared-nothing workers: an ingest goroutine pulls batches from the
-// source, hash-partitions the points, and hands per-shard sub-batches
-// to workers over bounded channels (backpressure, not buffering,
-// absorbs bursts). Each worker owns its operator replicas and its own
-// decay clock, so a shard is exactly the paper's EWS pipeline over its
-// hash partition of the stream; a merge stage (driven by the caller
-// through Snapshot) reconciles per-shard summaries into one global
-// view.
+// shared-nothing workers, fed by push-based partitioned ingestion: one
+// ingest goroutine per source partition pulls batches, hash-partitions
+// the points, and hands per-shard sub-batches to workers over bounded
+// channels (backpressure, not buffering, absorbs bursts). Routing
+// happens inside each ingest goroutine, so the bounded per-shard
+// channels are the only cross-goroutine hop; with several partitions
+// ingestion parallelizes before it ever serializes. Each worker owns
+// its operator replicas and its own decay clock, so a shard is exactly
+// the paper's EWS pipeline over its hash partition of the stream; a
+// merge stage (driven by the caller through Snapshot) reconciles
+// per-shard summaries into one global view.
 //
-// With Shards=1 and the same operators, StreamRunner is execution-
-// equivalent to Runner: one worker consumes every batch in ingest
-// order with the same decay schedule.
+// Exactly one of Partitioned or Source must be set. A legacy Source is
+// wrapped by SourcePartitions into a single partition whose one ingest
+// goroutine is the old pull loop — same batch boundaries, same
+// ordering — so adapted execution is identical to the pre-partitioned
+// engine. With Shards=1 and the same operators, a one-partition
+// StreamRunner is execution-equivalent to Runner: one worker consumes
+// every batch in ingest order with the same decay schedule.
 //
-// The Source's returned Point structs are copied into per-shard
-// batches during partitioning, but the Metrics/Attrs slices inside
-// them are shared: sources must not reuse those backing arrays across
-// Next calls (SliceSource and CSVSource satisfy this; wrap buffer-
-// recycling sources with a deep-copying adapter).
+// Ordering: points within one partition are delivered to shards in
+// partition order; across partitions there is no ordering contract
+// (the interleaving at a shard is scheduling-dependent). Decayed
+// summaries are therefore reproducible run-to-run only for
+// one-partition sources; multi-partition runs are reproducible exactly
+// when the per-shard summaries are order-insensitive (no decay ticks,
+// deterministic classification), and approximately otherwise.
+//
+// Stop has two levels. RequestStop cancels the ingest context, which
+// interrupts in-flight context-aware NextBatch calls (no polling
+// between batches); workers then drain and flush normally. Abandon
+// additionally gives up on ingest goroutines stuck inside a
+// non-cancellable read (a legacy Source whose Next never returns):
+// workers consume what is already queued, flush, and the run completes,
+// leaving the stuck goroutine to exit harmlessly whenever its read
+// returns, if ever. The legacy polled Stop callback is still honored
+// between batches.
+//
+// The partition streams' returned Point structs are copied into
+// per-shard batches during routing, but the Metrics/Attrs slices
+// inside them are shared: sources must not reuse those backing arrays
+// across NextBatch calls (SliceSource, CSVSource, and ingest.Push
+// satisfy this; wrap buffer-recycling sources with a deep-copying
+// adapter).
 type StreamRunner struct {
+	// Source is a legacy pull source, adapted via SourcePartitions.
 	Source Source
+	// Partitioned, when non-nil, supplies pre-partitioned ingestion
+	// and takes precedence over Source.
+	Partitioned PartitionedSource
 	// Shards is the worker count P (default 1).
 	Shards int
 	// NewShard builds shard s's operator replicas (required). It is
@@ -74,20 +106,38 @@ type StreamRunner struct {
 	// SnapshotShard, when non-nil, enables the Snapshot method: it
 	// runs on the worker goroutine between batches and should return
 	// an immutable view of the shard's summary state (e.g. a clone of
-	// its explainer).
-	SnapshotShard func(shard int, pl ShardPipeline) any
+	// its explainer). hint is the caller-supplied per-shard value
+	// passed to Snapshot (nil when the caller sent none); hooks use it
+	// to skip work — e.g. returning a signature-only marker instead of
+	// a clone when the hint proves the state unchanged.
+	SnapshotShard func(shard int, pl ShardPipeline, hint any) any
 	// OnBatch, if non-nil, observes each shard's labeled batches
 	// (called on worker goroutines; must be safe for concurrent use).
 	OnBatch func(shard int, batch []LabeledPoint)
-	// Stop, if non-nil, is polled by the ingest loop between source
-	// batches with the number of points ingested so far; returning
-	// true halts execution with ErrStopped after workers drain.
+	// Stop, if non-nil, is polled by each ingest goroutine between
+	// batches with the total number of points ingested so far;
+	// returning true halts execution with ErrStopped after workers
+	// drain. RequestStop is the push-based equivalent and additionally
+	// cancels in-flight NextBatch calls.
 	Stop func(pointsIngested int) bool
 
 	workersMu sync.Mutex // guards workers/quit against end-of-run teardown
 	workers   []*shardWorker
 	quit      chan struct{}
-	started   atomic.Bool
+	// snapWg tracks the post-drain snapshot servers: Run waits for
+	// them after closing quit, so no SnapshotShard call can still be
+	// in flight once Run returns — the caller then owns the shard
+	// pipelines outright (the final merge mutates them in place).
+	snapWg  sync.WaitGroup
+	started atomic.Bool
+
+	// ctlMu guards the stop/abandon control state shared between Run
+	// and the RequestStop/Abandon methods.
+	ctlMu        sync.Mutex
+	cancelIngest context.CancelFunc
+	stopReq      bool
+	abandonCh    chan struct{}
+	abandoned    bool
 
 	// live counters, updated per batch, readable mid-run.
 	livePoints    atomic.Int64
@@ -97,29 +147,77 @@ type StreamRunner struct {
 }
 
 type snapshotReq struct {
+	hint  any
 	reply chan any
 }
 
 type shardWorker struct {
-	id   int
-	r    *StreamRunner
-	pl   ShardPipeline
-	data chan []Point
-	snap chan snapshotReq
-	done chan struct{} // closed when the worker has drained and flushed
-	exec pipeExec      // the shared batch kernel, one replica per shard
+	id    int
+	r     *StreamRunner
+	pl    ShardPipeline
+	data  chan []Point
+	drain chan struct{} // closed by an abandoning Run: consume what's queued, flush, exit
+	snap  chan snapshotReq
+	done  chan struct{} // closed when the worker has drained and flushed
+	exec  pipeExec      // the shared batch kernel, one replica per shard
 }
 
 // ErrNotStreaming is returned by Snapshot outside a Run.
 var ErrNotStreaming = errors.New("core: stream runner is not running")
 
-// Run executes the sharded pipeline until the source is exhausted or
-// Stop requests a halt (ErrStopped). It blocks until every worker has
+// RequestStop asks a running stream to halt: the ingest context is
+// cancelled, which interrupts context-aware NextBatch calls already in
+// flight, every ingest goroutine exits at its next scheduling point,
+// and the workers drain and flush. Run then returns ErrStopped. Safe to
+// call at any time, from any goroutine, idempotently; calling it before
+// Run stops that Run immediately.
+func (r *StreamRunner) RequestStop() {
+	r.ctlMu.Lock()
+	r.stopReq = true
+	if r.cancelIngest != nil {
+		r.cancelIngest()
+	}
+	r.ctlMu.Unlock()
+}
+
+// Abandon is RequestStop for sources that cannot be interrupted: it
+// additionally stops waiting for ingest goroutines that are stuck
+// inside a blocking read (a legacy Source whose Next never returns).
+// Workers consume whatever is already queued, flush, and Run completes;
+// the stuck goroutine keeps its read but its result is discarded when
+// it eventually returns (it may never — that goroutine is leaked by
+// design, which is the price of a Source with no cancellation
+// contract). Points a stuck partition delivers after Abandon are
+// dropped, not counted. Safe to call at any time, idempotently.
+func (r *StreamRunner) Abandon() {
+	r.ctlMu.Lock()
+	r.stopReq = true
+	if r.cancelIngest != nil {
+		r.cancelIngest()
+	}
+	if r.abandonCh != nil && !r.abandoned {
+		r.abandoned = true
+		close(r.abandonCh)
+	}
+	r.ctlMu.Unlock()
+}
+
+// Run executes the sharded pipeline until every partition is exhausted
+// or a stop is requested (ErrStopped). It blocks until every worker has
 // drained; Snapshot may be called concurrently from other goroutines
 // while Run is in flight.
 func (r *StreamRunner) Run() (StreamStats, error) {
-	if r.Source == nil {
-		return StreamStats{}, errors.New("core: StreamRunner requires a Source")
+	var parts []PartitionStream
+	switch {
+	case r.Partitioned != nil:
+		parts = r.Partitioned.Partitions()
+		if len(parts) == 0 {
+			return StreamStats{}, errors.New("core: PartitionedSource has no partitions")
+		}
+	case r.Source != nil:
+		parts = SourcePartitions(r.Source).Partitions()
+	default:
+		return StreamStats{}, errors.New("core: StreamRunner requires a Source or a PartitionedSource")
 	}
 	if r.NewShard == nil {
 		return StreamStats{}, errors.New("core: StreamRunner requires NewShard")
@@ -147,15 +245,16 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	r.liveTicks.Store(0)
 	r.quit = make(chan struct{})
 	r.workers = make([]*shardWorker, shards)
-	var wg sync.WaitGroup
+	var workerWg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		w := &shardWorker{
-			id:   s,
-			r:    r,
-			pl:   r.NewShard(s),
-			data: make(chan []Point, depth),
-			snap: make(chan snapshotReq),
-			done: make(chan struct{}),
+			id:    s,
+			r:     r,
+			pl:    r.NewShard(s),
+			data:  make(chan []Point, depth),
+			drain: make(chan struct{}),
+			snap:  make(chan snapshotReq),
+			done:  make(chan struct{}),
 		}
 		w.exec = pipeExec{
 			transforms: w.pl.Transforms,
@@ -175,48 +274,170 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 		}
 		w.exec.reset()
 		r.workers[s] = w
-		wg.Add(1)
-		go w.run(&wg)
+		workerWg.Add(1)
+		r.snapWg.Add(1)
+		go w.run(&workerWg)
 	}
+
+	// Arm the stop/abandon controls for this run. A RequestStop that
+	// raced ahead of Run is honored by cancelling immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	r.ctlMu.Lock()
+	r.cancelIngest = cancel
+	r.abandonCh = make(chan struct{})
+	r.abandoned = false
+	abandonCh := r.abandonCh
+	if r.stopReq {
+		cancel()
+	}
+	r.ctlMu.Unlock()
+	defer cancel()
 	r.started.Store(true)
 
-	// Ingest loop: partition each source batch into freshly allocated
-	// per-shard sub-batches (ownership transfers to the worker).
-	ingested := 0
-	var ingestErr error
+	// One ingest goroutine per partition: each pulls its own batches,
+	// routes them, and feeds the shard channels directly. The first
+	// source error wins and cancels the rest.
+	var (
+		prodWg    sync.WaitGroup
+		errMu     sync.Mutex
+		ingestErr error
+	)
+	workers := r.workers
+	for _, ps := range parts {
+		prodWg.Add(1)
+		go func(ps PartitionStream) {
+			defer prodWg.Done()
+			// Producers work against this run's worker slice, never
+			// r.workers: after an Abandon, Run tears r.workers down
+			// while an abandoned producer may still be routing a batch
+			// it had already read, and that late send must hit a valid
+			// (if ignored) channel rather than a nil slice.
+			if err := r.ingestPartition(ctx, ps, workers, batch, partition); err != nil {
+				errMu.Lock()
+				if ingestErr == nil {
+					ingestErr = fmt.Errorf("core: source: %w", err)
+				}
+				errMu.Unlock()
+				cancel() // a partition failure stops the whole stream
+			}
+		}(ps)
+	}
+	prodDone := make(chan struct{})
+	go func() {
+		prodWg.Wait()
+		close(prodDone)
+	}()
+
+	// Wait for ingestion to finish, or for Abandon to give up on it.
+	// Clean completion closes the data channels (workers drain to
+	// end-of-channel); abandonment must not — an abandoned producer
+	// may still attempt a send — so workers are told to drain what is
+	// already queued via their drain channels instead.
+	abandoned := false
+	select {
+	case <-prodDone:
+		for _, w := range r.workers {
+			close(w.data)
+		}
+	case <-abandonCh:
+		abandoned = true
+		for _, w := range r.workers {
+			close(w.drain)
+		}
+	}
+	workerWg.Wait()
+
+	stats := StreamStats{PerShard: make([]RunStats, shards)}
+	stats.Points = int(r.livePoints.Load())
+	for s, w := range r.workers {
+		stats.PerShard[s] = w.exec.stats
+		stats.OutPoints += w.exec.stats.OutPoints
+		stats.Outliers += w.exec.stats.Outliers
+		stats.DecayTicks += w.exec.stats.DecayTicks
+	}
+	// Release any snapshot servers, mark not running, then drop the
+	// worker set: a finished run must not pin P shards' operator
+	// replicas (reservoirs, sketches, trees) for the lifetime of a
+	// long-lived session object. workersMu orders the drop against
+	// concurrent Snapshot reads. The snapWg wait is load-bearing: a
+	// snapshot request that raced into a worker just before quit
+	// closed is still served on the worker goroutine, and Run must not
+	// hand the pipelines to its caller while such a SnapshotShard call
+	// reads them.
+	r.started.Store(false)
+	close(r.quit)
+	r.snapWg.Wait()
+	r.workersMu.Lock()
+	r.workers = nil
+	r.workersMu.Unlock()
+	r.ctlMu.Lock()
+	stopped := r.stopReq
+	r.cancelIngest = nil
+	r.ctlMu.Unlock()
+	// Under abandonment a stuck producer may still be alive and could
+	// yet record an error; errMu makes this read well-defined (a loss
+	// to that race reports ErrStopped, which is what abandoning means).
+	errMu.Lock()
+	err := ingestErr
+	errMu.Unlock()
+	if err != nil {
+		return stats, err
+	}
+	if stopped || abandoned {
+		return stats, ErrStopped
+	}
+	return stats, nil
+}
+
+// ingestPartition is one partition's ingest loop: poll the legacy Stop
+// callback, pull a batch (cancellable mid-call for context-aware
+// streams), route each point to its shard, and hand the per-shard
+// sub-batches over the bounded channels. Returns a non-nil error only
+// for genuine source failures; cancellation and end-of-stream return
+// nil.
+func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, workers []*shardWorker, batch int, partition func(*Point, int) int) error {
+	// Per-partition routing scratch: only the sub-batches themselves
+	// are freshly allocated (their ownership transfers to the
+	// workers); the routing tables are reused across batches.
+	shards := len(workers)
 	var routes []int32
-	// Per-batch routing scratch: only the sub-batches themselves are
-	// freshly allocated (their ownership transfers to the workers); the
-	// routing tables are reused across batches.
 	sizes := make([]int, shards)
 	subs := make([][]Point, shards)
-	stopped := false
 	for {
-		if r.Stop != nil && r.Stop(ingested) {
-			stopped = true
-			break
+		if ctx.Err() != nil {
+			return nil
 		}
-		pts, err := r.Source.Next(batch)
+		if r.Stop != nil && r.Stop(int(r.livePoints.Load())) {
+			r.RequestStop()
+			return nil
+		}
+		pts, err := ps.NextBatch(ctx, batch)
 		if err == ErrEndOfStream {
-			break
+			return nil
 		}
 		if err != nil {
-			ingestErr = fmt.Errorf("core: source: %w", err)
-			break
+			if ctx.Err() != nil {
+				return nil // cancelled mid-read: a stop, not a failure
+			}
+			return err
 		}
-		ingested += len(pts)
+		if ctx.Err() != nil {
+			return nil // cancelled while a non-cancellable read was in flight
+		}
 		r.livePoints.Add(int64(len(pts)))
 		if shards == 1 {
 			// Single shard: forward the batch copy without routing.
 			sub := make([]Point, len(pts))
 			copy(sub, pts)
-			r.workers[0].data <- sub
+			if !send(ctx, workers[0], sub) {
+				return nil
+			}
 			continue
 		}
 		// Route each point once (the hash walks the full attribute
-		// vector and this loop is the engine's serialization point),
-		// recording shard indexes in a reusable scratch slice, then
-		// size and fill the sub-batches from the recorded routes.
+		// vector), recording shard indexes in a reusable scratch
+		// slice, then size and fill the sub-batches from the recorded
+		// routes.
 		if cap(routes) < len(pts) {
 			routes = make([]int32, len(pts))
 		}
@@ -241,40 +462,23 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 		}
 		for s, sub := range subs {
 			if len(sub) > 0 {
-				r.workers[s].data <- sub
+				if !send(ctx, workers[s], sub) {
+					return nil
+				}
 			}
 		}
 	}
-	for _, w := range r.workers {
-		close(w.data)
-	}
-	wg.Wait()
+}
 
-	stats := StreamStats{PerShard: make([]RunStats, shards)}
-	stats.Points = ingested
-	for s, w := range r.workers {
-		stats.PerShard[s] = w.exec.stats
-		stats.OutPoints += w.exec.stats.OutPoints
-		stats.Outliers += w.exec.stats.Outliers
-		stats.DecayTicks += w.exec.stats.DecayTicks
+// send delivers one sub-batch to a shard, or reports false if the run
+// was cancelled while blocked on the shard's backpressure.
+func send(ctx context.Context, w *shardWorker, sub []Point) bool {
+	select {
+	case w.data <- sub:
+		return true
+	case <-ctx.Done():
+		return false
 	}
-	// Release any snapshot servers, mark not running, then drop the
-	// worker set: a finished run must not pin P shards' operator
-	// replicas (reservoirs, sketches, trees) for the lifetime of a
-	// long-lived session object. workersMu orders the drop against
-	// concurrent Snapshot reads.
-	r.started.Store(false)
-	close(r.quit)
-	r.workersMu.Lock()
-	r.workers = nil
-	r.workersMu.Unlock()
-	if ingestErr != nil {
-		return stats, ingestErr
-	}
-	if stopped {
-		return stats, ErrStopped
-	}
-	return stats, nil
 }
 
 // LiveStats reports approximate run-in-progress totals. Safe to call
@@ -290,10 +494,13 @@ func (r *StreamRunner) LiveStats() RunStats {
 
 // Snapshot collects one summary snapshot per shard, taken on each
 // worker's goroutine between batches (so a snapshot never observes a
-// half-consumed batch). The Snapshot hook must be configured. Returns
-// ErrNotStreaming if the run has finished (callers then use the final
-// results) or not started.
-func (r *StreamRunner) Snapshot() ([]any, error) {
+// half-consumed batch). The Snapshot hook must be configured. hints,
+// when non-nil, supplies one opaque value per shard, handed to the
+// SnapshotShard hook so it can elide work the caller already holds
+// (pass nil for no hints; extra or missing entries are ignored).
+// Returns ErrNotStreaming if the run has finished (callers then use
+// the final results) or not started.
+func (r *StreamRunner) Snapshot(hints []any) ([]any, error) {
 	if r.SnapshotShard == nil {
 		return nil, errors.New("core: StreamRunner has no Snapshot hook")
 	}
@@ -315,6 +522,9 @@ func (r *StreamRunner) Snapshot() ([]any, error) {
 	reqs := make([]snapshotReq, len(workers))
 	for i, w := range workers {
 		reqs[i] = snapshotReq{reply: make(chan any, 1)}
+		if i < len(hints) {
+			reqs[i].hint = hints[i]
+		}
 		select {
 		case w.snap <- reqs[i]:
 		case <-quit:
@@ -355,36 +565,58 @@ func HashPartition(p *Point, shards int) int {
 
 // run is the worker loop: consume sub-batches, serve snapshot
 // requests between them, flush on drain, then keep serving snapshots
-// until the runner shuts down.
+// until the runner shuts down. The loop ends either at channel close
+// (clean completion: every producer finished) or at a drain signal
+// (abandonment: consume only what is already queued — the channel is
+// deliberately left open because an abandoned producer may still
+// attempt a send).
 func (w *shardWorker) run(wg *sync.WaitGroup) {
+	finish := func() {
+		// Flush at drain even when stopped: for a resident
+		// streaming session, stop is the normal termination
+		// and residual windows are still worth explaining.
+		w.exec.flush()
+		close(w.done)
+		wg.Done()
+		w.serveSnapshots()
+	}
 	for {
 		select {
 		case pts, ok := <-w.data:
 			if !ok {
-				// Flush at drain even when stopped: for a resident
-				// streaming session, stop is the normal termination
-				// and residual windows are still worth explaining.
-				w.exec.flush()
-				close(w.done)
-				wg.Done()
-				w.serveSnapshots()
+				finish()
 				return
 			}
 			w.exec.consume(pts)
+		case <-w.drain:
+			for {
+				select {
+				case pts, ok := <-w.data:
+					if ok {
+						w.exec.consume(pts)
+						continue
+					}
+				default:
+				}
+				finish()
+				return
+			}
 		case req := <-w.snap:
-			req.reply <- w.r.SnapshotShard(w.id, w.pl)
+			req.reply <- w.r.SnapshotShard(w.id, w.pl, req.hint)
 		}
 	}
 }
 
 // serveSnapshots answers snapshot requests after drain so a concurrent
 // Snapshot never deadlocks against a finished worker; it exits when
-// Run closes the quit channel.
+// Run closes the quit channel, releasing snapWg so Run knows no hook
+// call is still touching this shard's pipeline.
 func (w *shardWorker) serveSnapshots() {
+	defer w.r.snapWg.Done()
 	for {
 		select {
 		case req := <-w.snap:
-			req.reply <- w.r.SnapshotShard(w.id, w.pl)
+			req.reply <- w.r.SnapshotShard(w.id, w.pl, req.hint)
 		case <-w.r.quit:
 			return
 		}

@@ -170,18 +170,43 @@ func NewPollMerger() *PollMerger { return &PollMerger{} }
 // this merger.
 func (m *PollMerger) Stats() CacheStats { return m.stats }
 
+// NoteElidedSnapshots records n per-shard snapshot clones the caller
+// skipped because the shard signatures proved the retained snapshots
+// still current (see CacheStats.SnapshotsElided). The session layer
+// calls it alongside MergeShared.
+func (m *PollMerger) NoteElidedSnapshots(n int) { m.stats.SnapshotsElided += int64(n) }
+
 // Merge reconciles per-shard snapshot clones into one ranked
 // explanation set, incrementally when the signatures allow it. The
 // merger takes ownership of shards (they are mutated by the fold and
 // may be retained); callers pass throwaway clones, exactly like
 // MergeStreamingInto. The returned slice is the caller's.
 func (m *PollMerger) Merge(shards []*Streaming) []core.Explanation {
+	return m.merge(shards, true)
+}
+
+// MergeShared is Merge for callers that keep the shard snapshots
+// alive across polls (the snapshot-elision path): the inputs' summary
+// state is never mutated — a fold clones shards[0] first — so the same
+// snapshot may be passed again on the next poll. Reading still runs
+// through per-tree scratch, so the inputs must not be shared with
+// another goroutine during the call; with a single shard the
+// explainer's internal caches (not its summary state) may be
+// refreshed in place.
+func (m *PollMerger) MergeShared(shards []*Streaming) []core.Explanation {
+	return m.merge(shards, false)
+}
+
+func (m *PollMerger) merge(shards []*Streaming, owned bool) []core.Explanation {
 	if len(shards) == 0 {
 		return nil
 	}
 	if shards[0].cfg.DisableCache {
 		// Force-disabled sessions skip every incremental path; the
 		// merger still counts the full mines its polls trigger.
+		if !owned && len(shards) > 1 {
+			shards = append([]*Streaming{shards[0].Clone()}, shards[1:]...)
+		}
 		exps := MergeStreamingInto(shards)
 		m.stats.Add(shards[0].stats)
 		return exps
@@ -207,6 +232,13 @@ func (m *PollMerger) Merge(shards []*Streaming) []core.Explanation {
 		}
 	}
 	dst := shards[0]
+	if !owned && len(shards) > 1 {
+		// Shared inputs survive the poll: fold into a local clone so
+		// the retained snapshots' summary state stays pristine. (With
+		// one shard there is no fold; Explanations only refreshes
+		// dst's internal caches, which retained snapshots tolerate.)
+		dst = shards[0].Clone()
+	}
 	for _, sh := range shards[1:] {
 		dst.Merge(sh)
 	}
@@ -220,8 +252,18 @@ func (m *PollMerger) Merge(shards []*Streaming) []core.Explanation {
 		// minCount and falls back to a full mine on any mismatch.
 		dst.adoptMineCache(m.mineTab, m.mineMin)
 	}
+	// Account only this call's outcome: dst is usually a fresh clone
+	// (stats zero), but the shared single-shard path may hand the same
+	// retained snapshot to several polls, so the delta — not the
+	// cumulative explainer counters — is what this poll contributed.
+	pre := dst.stats
 	exps := dst.Explanations()
-	m.stats.Add(dst.stats) // clones start at zero, so this is this poll's outcome
+	delta := dst.stats
+	delta.FullHits -= pre.FullHits
+	delta.MineReuses -= pre.MineReuses
+	delta.FullMines -= pre.FullMines
+	delta.SnapshotsElided -= pre.SnapshotsElided
+	m.stats.Add(delta)
 	// Harvest the merged mine for the next poll and remember the
 	// pre-merge shard signatures it corresponds to.
 	m.mineTab, m.mineMin, m.mineOK = dst.mineCache, dst.mineCacheMin, dst.mineCacheOK

@@ -140,6 +140,13 @@ type CacheStats struct {
 	MineReuses int64 `json:"mineReuses"`
 	// FullMines are polls that ran a full FPGrowth mine.
 	FullMines int64 `json:"fullMines"`
+	// SnapshotsElided counts per-shard snapshot clones skipped
+	// entirely because the shard's Signature was unchanged since the
+	// previous poll (the poll reused the retained snapshot instead of
+	// paying the slab memcpy). Maintained by the session layer via
+	// PollMerger.NoteElidedSnapshots; always zero at the single-
+	// explainer level.
+	SnapshotsElided int64 `json:"snapshotsElided"`
 }
 
 // Add accumulates o into c.
@@ -147,6 +154,7 @@ func (c *CacheStats) Add(o CacheStats) {
 	c.FullHits += o.FullHits
 	c.MineReuses += o.MineReuses
 	c.FullMines += o.FullMines
+	c.SnapshotsElided += o.SnapshotsElided
 }
 
 // CacheStats reports how this explainer's Explanations calls were

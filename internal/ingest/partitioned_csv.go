@@ -1,0 +1,117 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"macrobase/internal/core"
+	"macrobase/internal/encode"
+)
+
+// PartitionedCSV is a partitioned pull-into-push source over several
+// CSV readers: one partition per reader (typically one file per
+// producer, the on-disk analog of Kafka topic partitions), all
+// projecting through one shared schema and encoder so attribute ids
+// agree across partitions. Each partition is an independent CSVSource;
+// the streaming engine consumes them concurrently, one ingest
+// goroutine each, so N files are parsed, encoded, and routed in
+// parallel.
+//
+// The shared encoder interns attribute ids under its own lock
+// (encode.Encoder is safe for concurrent use), which preserves the
+// dense-id invariant the explanation structures rely on. Cancellation
+// is checked between reads — a CSV read from a local file does not
+// block indefinitely, so mid-read cancellation is not needed here.
+type PartitionedCSV struct {
+	parts   []*csvPartition
+	closers []io.Closer
+}
+
+type csvPartition struct {
+	src *CSVSource
+}
+
+// NextBatch implements core.PartitionStream.
+func (p *csvPartition) NextBatch(ctx context.Context, max int) ([]core.Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.src.Next(max)
+}
+
+// NewPartitionedCSV builds a partitioned source over readers, one
+// partition each. Every reader must start with a header row naming the
+// schema columns (the usual per-file layout). enc is shared across
+// partitions and must be the encoder later used for decoration.
+func NewPartitionedCSV(schema Schema, enc *encode.Encoder, readers ...io.Reader) (*PartitionedCSV, error) {
+	if len(readers) == 0 {
+		return nil, fmt.Errorf("ingest: partitioned CSV requires at least one reader")
+	}
+	p := &PartitionedCSV{}
+	for i, r := range readers {
+		src, err := NewCSVSource(r, schema, enc)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: partition %d: %w", i, err)
+		}
+		p.parts = append(p.parts, &csvPartition{src: src})
+	}
+	return p, nil
+}
+
+// OpenPartitionedCSV opens each path as one partition. The returned
+// source owns the files; Close releases them (callers stop the
+// consuming session first).
+func OpenPartitionedCSV(schema Schema, enc *encode.Encoder, paths ...string) (*PartitionedCSV, error) {
+	readers := make([]io.Reader, 0, len(paths))
+	var closers []io.Closer
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil, err
+		}
+		readers = append(readers, f)
+		closers = append(closers, f)
+	}
+	p, err := NewPartitionedCSV(schema, enc, readers...)
+	if err != nil {
+		for _, c := range closers {
+			c.Close()
+		}
+		return nil, err
+	}
+	p.closers = closers
+	return p, nil
+}
+
+// NumPartitions reports the partition count.
+func (p *PartitionedCSV) NumPartitions() int { return len(p.parts) }
+
+// Partitions implements core.PartitionedSource.
+func (p *PartitionedCSV) Partitions() []core.PartitionStream {
+	out := make([]core.PartitionStream, len(p.parts))
+	for i, pp := range p.parts {
+		out[i] = pp
+	}
+	return out
+}
+
+// Close releases any files opened by OpenPartitionedCSV. Safe to call
+// once the consuming stream has terminated.
+func (p *PartitionedCSV) Close() error {
+	var first error
+	for _, c := range p.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.closers = nil
+	return first
+}
+
+var _ core.PartitionedSource = (*PartitionedCSV)(nil)
+var _ core.PartitionedSource = (*Push)(nil)

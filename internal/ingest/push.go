@@ -1,0 +1,180 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"macrobase/internal/core"
+)
+
+// ErrProducerClosed is returned by PushProducer.Send after the
+// producer's partition has been closed.
+var ErrProducerClosed = errors.New("ingest: push producer is closed")
+
+// Push is an in-memory partitioned push source: N independent
+// producers, each owning one partition, hand point batches to the
+// streaming engine through bounded channels. It is the programmatic
+// ingest backend for "fast data" that is generated in-process or
+// arrives over a network surface (mbserver's /stream/{id}/push NDJSON
+// endpoint feeds a resident session through one of these).
+//
+// Backpressure, not buffering, absorbs bursts: a partition holds at
+// most QueueDepth in-flight batches, and Send blocks (or fails on its
+// context) once the pipeline falls behind — the producer-side
+// equivalent of the engine's bounded shard channels, so an overwhelmed
+// consumer is visible at the producer instead of hidden by an
+// unbounded queue.
+//
+// Lifecycle: each producer is closed independently; a partition
+// signals end-of-stream once it is closed and fully drained, and the
+// whole stream ends when every partition has. Stopping the consuming
+// session early is always safe — NextBatch honors its context, so
+// producers blocked in Send fail fast with the session gone only if
+// they pass a bounded context (use one).
+type Push struct {
+	parts []*pushPartition
+}
+
+// pushPartition is one partition's channel plus its close signal. The
+// data channel is never closed (closing would race concurrent Sends);
+// end-of-stream is the closed channel plus an empty queue.
+type pushPartition struct {
+	ch        chan []core.Point
+	closed    chan struct{}
+	closeOnce sync.Once // lives on the partition: producer handles are cheap copies
+	leftover  []core.Point
+}
+
+// NewPush returns a push source with partitions independent producer
+// partitions, each buffering at most queueDepth batches (default 4).
+// Partitions defaults to 1.
+func NewPush(partitions, queueDepth int) *Push {
+	if partitions <= 0 {
+		partitions = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 4
+	}
+	p := &Push{parts: make([]*pushPartition, partitions)}
+	for i := range p.parts {
+		p.parts[i] = &pushPartition{
+			ch:     make(chan []core.Point, queueDepth),
+			closed: make(chan struct{}),
+		}
+	}
+	return p
+}
+
+// NumPartitions reports the partition count.
+func (p *Push) NumPartitions() int { return len(p.parts) }
+
+// Partitions implements core.PartitionedSource. The engine consumes
+// each partition from exactly one ingest goroutine.
+func (p *Push) Partitions() []core.PartitionStream {
+	out := make([]core.PartitionStream, len(p.parts))
+	for i, pp := range p.parts {
+		out[i] = pp
+	}
+	return out
+}
+
+// Producer returns the handle for partition i (panics on a bad index,
+// like a slice). Handles are safe for concurrent use; several
+// goroutines may share one partition's producer, at the cost of
+// interleaving their batches.
+func (p *Push) Producer(i int) *PushProducer {
+	return &PushProducer{part: p.parts[i]}
+}
+
+// CloseAll closes every producer: the stream ends once the queued
+// batches drain. Idempotent.
+func (p *Push) CloseAll() {
+	for i := range p.parts {
+		p.Producer(i).Close()
+	}
+}
+
+// NextBatch implements core.PartitionStream. Batches are handed out in
+// Send order, split when one exceeds max; after close, whatever is
+// already queued is drained before ErrEndOfStream.
+func (pp *pushPartition) NextBatch(ctx context.Context, max int) ([]core.Point, error) {
+	if len(pp.leftover) > 0 {
+		return pp.serve(pp.leftover, max), nil
+	}
+	select {
+	case pts := <-pp.ch:
+		return pp.serve(pts, max), nil
+	case <-pp.closed:
+		// Close raced queued data: drain before signaling the end. A
+		// Send that loses the race and buffers after this drain sees
+		// its batch dropped, which the Send contract documents.
+		select {
+		case pts := <-pp.ch:
+			return pp.serve(pts, max), nil
+		default:
+			return nil, core.ErrEndOfStream
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// serve hands out at most max points from pts, stashing the rest.
+func (pp *pushPartition) serve(pts []core.Point, max int) []core.Point {
+	if len(pts) <= max {
+		pp.leftover = nil
+		return pts
+	}
+	pp.leftover = pts[max:]
+	return pts[:max]
+}
+
+// PushProducer feeds one partition. The zero value is not usable;
+// obtain producers from Push.Producer.
+type PushProducer struct {
+	part *pushPartition
+}
+
+// Send queues one batch of points, blocking while the partition's
+// queue is full (backpressure). The engine takes ownership of pts and
+// of the Metrics/Attrs slices inside: the caller must not mutate them
+// after Send returns (re-sending the same immutable batch is fine).
+// Returns ErrProducerClosed after Close, and ctx.Err() if the context
+// expires while blocked. A Send racing Close may occasionally win the
+// queue slot; such a batch is delivered if the consumer has not yet
+// observed end-of-stream and silently dropped otherwise — close the
+// producer only once its sends have returned for exact accounting.
+func (pr *PushProducer) Send(ctx context.Context, pts []core.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	select {
+	case <-pr.part.closed:
+		return ErrProducerClosed
+	default:
+	}
+	select {
+	case pr.part.ch <- pts:
+		return nil
+	case <-pr.part.closed:
+		return ErrProducerClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SendPoint is Send for a single point, for producers without natural
+// batching (batch at the producer when throughput matters — every
+// point pays a channel operation here).
+func (pr *PushProducer) SendPoint(ctx context.Context, pt core.Point) error {
+	return pr.Send(ctx, []core.Point{pt})
+}
+
+// Close marks the partition finished: queued batches still drain, then
+// the partition reports end-of-stream. Idempotent across every handle
+// to the same partition; Sends observing the close fail with
+// ErrProducerClosed.
+func (pr *PushProducer) Close() {
+	pr.part.closeOnce.Do(func() { close(pr.part.closed) })
+}

@@ -1,0 +1,294 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"macrobase/internal/core"
+	"macrobase/internal/encode"
+)
+
+func pushBatch(base, n int) []core.Point {
+	pts := make([]core.Point, n)
+	for i := range pts {
+		pts[i] = core.Point{Metrics: []float64{float64(base + i)}, Attrs: []int32{int32((base + i) % 7)}}
+	}
+	return pts
+}
+
+// TestPushDeliversInOrderAndSplits: batches arrive in Send order per
+// partition, and a batch larger than max is split across NextBatch
+// calls without loss.
+func TestPushDeliversInOrderAndSplits(t *testing.T) {
+	p := NewPush(1, 2)
+	pr := p.Producer(0)
+	ctx := context.Background()
+	go func() {
+		for i := 0; i < 5; i++ {
+			if err := pr.Send(ctx, pushBatch(i*100, 100)); err != nil {
+				t.Error(err)
+			}
+		}
+		pr.Close()
+	}()
+	part := p.Partitions()[0]
+	var got []core.Point
+	for {
+		pts, err := part.NextBatch(ctx, 64) // smaller than the sent batches: forces splits
+		if err == core.ErrEndOfStream {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) > 64 {
+			t.Fatalf("NextBatch returned %d points, max 64", len(pts))
+		}
+		got = append(got, pts...)
+	}
+	if len(got) != 500 {
+		t.Fatalf("received %d points, want 500", len(got))
+	}
+	for i := range got {
+		if got[i].Metrics[0] != float64(i) {
+			t.Fatalf("point %d out of order: metric %v", i, got[i].Metrics[0])
+		}
+	}
+}
+
+// TestPushBackpressure: Send must block once the partition queue is
+// full, and resume when the consumer drains.
+func TestPushBackpressure(t *testing.T) {
+	p := NewPush(1, 1)
+	pr := p.Producer(0)
+	ctx := context.Background()
+	if err := pr.Send(ctx, pushBatch(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: a bounded-context Send must time out.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := pr.Send(short, pushBatch(8, 8)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("full-queue send: got %v, want deadline exceeded", err)
+	}
+	// Draining one batch unblocks the producer.
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- pr.Send(ctx, pushBatch(8, 8)) }()
+	if _, err := p.Partitions()[0].NextBatch(ctx, 1024); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-unblocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send did not unblock after drain")
+	}
+}
+
+// TestPushCloseSemantics: close drains queued data first, then signals
+// end-of-stream; post-close sends fail; Close is idempotent across
+// handles.
+func TestPushCloseSemantics(t *testing.T) {
+	p := NewPush(2, 4)
+	ctx := context.Background()
+	pr := p.Producer(0)
+	if err := pr.Send(ctx, pushBatch(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	pr.Close()
+	p.Producer(0).Close() // second handle, same partition: must not panic
+	if err := pr.Send(ctx, pushBatch(0, 1)); !errors.Is(err, ErrProducerClosed) {
+		t.Fatalf("post-close send: got %v", err)
+	}
+	part := p.Partitions()[0]
+	pts, err := part.NextBatch(ctx, 1024)
+	if err != nil || len(pts) != 10 {
+		t.Fatalf("queued data lost at close: (%d, %v)", len(pts), err)
+	}
+	if _, err := part.NextBatch(ctx, 1024); err != core.ErrEndOfStream {
+		t.Fatalf("want end of stream after drain, got %v", err)
+	}
+	// The untouched partition keeps the stream open until CloseAll.
+	p.CloseAll()
+	if _, err := p.Partitions()[1].NextBatch(ctx, 16); err != core.ErrEndOfStream {
+		t.Fatalf("partition 1 after CloseAll: %v", err)
+	}
+}
+
+// TestPushCancelBlockedRead: a consumer blocked waiting for data is
+// released by its context — the contract deadline-aware stop relies
+// on.
+func TestPushCancelBlockedRead(t *testing.T) {
+	p := NewPush(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := p.Partitions()[0].NextBatch(ctx, 16)
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked read returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not release the blocked read")
+	}
+}
+
+// TestPushConcurrentProducersOnePartition: several goroutines may
+// share one partition's producer; batches interleave but none are
+// lost.
+func TestPushConcurrentProducersOnePartition(t *testing.T) {
+	p := NewPush(1, 2)
+	ctx := context.Background()
+	const (
+		writers    = 4
+		perWriter  = 50
+		batchSize  = 20
+		wantPoints = writers * perWriter * batchSize
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pr := p.Producer(0)
+			for i := 0; i < perWriter; i++ {
+				if err := pr.Send(ctx, pushBatch(w*1000+i, batchSize)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		p.CloseAll()
+	}()
+	part := p.Partitions()[0]
+	total := 0
+	for {
+		pts, err := part.NextBatch(ctx, 4096)
+		if err == core.ErrEndOfStream {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(pts)
+	}
+	if total != wantPoints {
+		t.Fatalf("received %d points, want %d", total, wantPoints)
+	}
+}
+
+// partCSV builds one CSV partition's text.
+func partCSV(devOffset, rows int) string {
+	var b strings.Builder
+	b.WriteString("power,device\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d.5,dev%d\n", i%40, (devOffset+i)%15)
+	}
+	return b.String()
+}
+
+// TestPartitionedCSVMatchesSequentialUnion: the partitioned reader
+// must deliver exactly the union of the per-file rows, encoded through
+// the shared encoder identically to sequential CSVSource reads.
+func TestPartitionedCSVMatchesSequentialUnion(t *testing.T) {
+	schema := Schema{Metrics: []string{"power"}, Attributes: []string{"device"}}
+	files := []string{partCSV(0, 500), partCSV(5, 300), partCSV(11, 200)}
+
+	// Sequential reference: one CSVSource per file, same encoder.
+	refEnc := encode.NewEncoder("device")
+	want := map[string]int{}
+	for _, f := range files {
+		src, err := NewCSVSource(strings.NewReader(f), schema, refEnc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			pts, err := src.Next(128)
+			if err == core.ErrEndOfStream {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range pts {
+				key := fmt.Sprintf("%v|%s", pts[i].Metrics[0], refEnc.Decode(pts[i].Attrs[0]).Value)
+				want[key]++
+			}
+		}
+	}
+
+	enc := encode.NewEncoder("device")
+	ps, err := NewPartitionedCSV(schema, enc,
+		strings.NewReader(files[0]), strings.NewReader(files[1]), strings.NewReader(files[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d", ps.NumPartitions())
+	}
+	got := map[string]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, part := range ps.Partitions() {
+		wg.Add(1)
+		go func(part core.PartitionStream) {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				pts, err := part.NextBatch(ctx, 128)
+				if err == core.ErrEndOfStream {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				for i := range pts {
+					key := fmt.Sprintf("%v|%s", pts[i].Metrics[0], enc.Decode(pts[i].Attrs[0]).Value)
+					got[key]++
+				}
+				mu.Unlock()
+			}
+		}(part)
+	}
+	wg.Wait()
+	if len(got) != len(want) {
+		t.Fatalf("distinct rows %d, want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("row %q: got %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+// TestPartitionedCSVCancelBetweenReads: context cancellation is
+// honored between reads.
+func TestPartitionedCSVCancelBetweenReads(t *testing.T) {
+	schema := Schema{Metrics: []string{"power"}, Attributes: []string{"device"}}
+	ps, err := NewPartitionedCSV(schema, encode.NewEncoder("device"), strings.NewReader(partCSV(0, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ps.Partitions()[0].NextBatch(ctx, 16); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled partition read: %v", err)
+	}
+}

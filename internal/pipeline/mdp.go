@@ -57,6 +57,11 @@ type Config struct {
 	// Classifier, when non-nil, replaces the default MDP classifier
 	// (e.g. the hybrid-supervision pipeline of §6.4).
 	Classifier core.Classifier
+	// NewClassifier, when non-nil, builds one classifier replica per
+	// shard — the sharded-legal form of Classifier (operator instances
+	// are stateful, so shards need replicas, not a shared instance).
+	// Mutually exclusive with Classifier.
+	NewClassifier func(shard int) core.Classifier
 	// Trainer, when non-nil, replaces the default MAD/MCD model
 	// selection.
 	Trainer classify.Trainer

@@ -1,9 +1,9 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"macrobase/internal/classify"
@@ -21,10 +21,10 @@ type ShardedResult struct {
 	// support and risk ratios are computed over the combined counts.
 	Explanations []core.Explanation
 	// Cache reports the session's cumulative explanation-cache counters
-	// (full hits, mined-table reuses, full mines) as of this result.
-	// Populated for StreamSession polls and final results; a one-shot
-	// RunShardedStream merges exactly once and reports that single full
-	// mine.
+	// (full hits, mined-table reuses, full mines, elided snapshot
+	// clones) as of this result. Populated for StreamSession polls and
+	// final results; a one-shot RunShardedStream merges exactly once
+	// and reports that single full mine.
 	Cache explain.CacheStats
 }
 
@@ -33,7 +33,7 @@ type ShardedResult struct {
 // with a single shard the seed is exactly cfg.Seed, which keeps
 // one-shard execution identical to RunStreaming. A caller-supplied
 // Classifier or Transforms (legal only with one shard) is installed
-// verbatim.
+// verbatim; a NewClassifier factory builds one replica per shard.
 func newShardPipeline(cfg Config, shard int) core.ShardPipeline {
 	pl := core.ShardPipeline{
 		Transforms: cfg.Transforms,
@@ -47,6 +47,9 @@ func newShardPipeline(cfg Config, shard int) core.ShardPipeline {
 			Confidence:   cfg.Confidence,
 			DisableCache: cfg.DisableExplainCache,
 		}),
+	}
+	if pl.Classifier == nil && cfg.NewClassifier != nil {
+		pl.Classifier = cfg.NewClassifier(shard)
 	}
 	if pl.Classifier == nil {
 		pl.Classifier = classify.NewStreaming(classify.StreamingConfig{
@@ -69,8 +72,11 @@ func validateSharded(cfg Config, shards int) error {
 	if shards <= 0 {
 		return fmt.Errorf("pipeline: shards must be positive")
 	}
+	if cfg.Classifier != nil && cfg.NewClassifier != nil {
+		return fmt.Errorf("pipeline: Classifier and NewClassifier are mutually exclusive")
+	}
 	if shards > 1 && cfg.Classifier != nil {
-		return fmt.Errorf("pipeline: sharded streaming cannot share one Classifier instance across %d shards; leave Classifier nil (MDP builds per-shard replicas)", shards)
+		return fmt.Errorf("pipeline: sharded streaming cannot share one Classifier instance across %d shards; use NewClassifier or leave both nil (MDP builds per-shard replicas)", shards)
 	}
 	if shards > 1 && len(cfg.Transforms) > 0 {
 		return fmt.Errorf("pipeline: sharded streaming cannot share Transform instances across %d shards", shards)
@@ -84,6 +90,25 @@ func validateSharded(cfg Config, shards int) error {
 	return nil
 }
 
+// newStreamRunner assembles the sharded runner over either ingest
+// shape; exactly one of src/parts is non-nil. NewShard runs
+// sequentially on the constructing goroutine before workers start, so
+// plain slice writes into explainers are safe.
+func newStreamRunner(src core.Source, parts core.PartitionedSource, cfg Config, shards int, explainers []*explain.Streaming) *core.StreamRunner {
+	return &core.StreamRunner{
+		Source:      src,
+		Partitioned: parts,
+		Shards:      shards,
+		NewShard: func(shard int) core.ShardPipeline {
+			pl := newShardPipeline(cfg, shard)
+			explainers[shard] = pl.Explainer.(*explain.Streaming)
+			return pl
+		},
+		BatchSize: cfg.BatchSize,
+		Decay:     core.DecayPolicy{EveryPoints: cfg.DecayEveryPoints},
+	}
+}
+
 // RunShardedStream executes MDP in exponentially weighted streaming
 // mode sharded across P shared-nothing workers: points are hash-
 // partitioned by attribute set, each shard runs its own streaming
@@ -95,24 +120,27 @@ func validateSharded(cfg Config, shards int) error {
 // classification thresholds, however, adapt per shard — the sharded
 // analog of the accuracy trade-off RunParallel exhibits in Figure 11.
 func RunShardedStream(src core.Source, cfg Config, shards int) (*ShardedResult, error) {
+	return runSharded(src, nil, cfg, shards)
+}
+
+// RunPartitionedStream is RunShardedStream over a partitioned push
+// source: one ingest goroutine per partition routes points to the
+// shard workers directly, so ingestion parallelizes before the first
+// channel hop. It blocks until every partition reports end of stream
+// (for ingest.Push, until every producer is closed). Points within a
+// partition keep their order; across partitions the interleaving is
+// scheduling-dependent (see core.StreamRunner).
+func RunPartitionedStream(parts core.PartitionedSource, cfg Config, shards int) (*ShardedResult, error) {
+	return runSharded(nil, parts, cfg, shards)
+}
+
+func runSharded(src core.Source, parts core.PartitionedSource, cfg Config, shards int) (*ShardedResult, error) {
 	cfg = cfg.withDefaults()
 	if err := validateSharded(cfg, shards); err != nil {
 		return nil, err
 	}
-	// NewShard runs sequentially on this goroutine before workers
-	// start, so plain slice writes are safe.
 	explainers := make([]*explain.Streaming, shards)
-	r := core.StreamRunner{
-		Source: src,
-		Shards: shards,
-		NewShard: func(shard int) core.ShardPipeline {
-			pl := newShardPipeline(cfg, shard)
-			explainers[shard] = pl.Explainer.(*explain.Streaming)
-			return pl
-		},
-		BatchSize: cfg.BatchSize,
-		Decay:     core.DecayPolicy{EveryPoints: cfg.DecayEveryPoints},
-	}
+	r := newStreamRunner(src, parts, cfg, shards, explainers)
 	stats, err := r.Run()
 	if err != nil {
 		return nil, err
@@ -138,9 +166,7 @@ func RunShardedStream(src core.Source, cfg Config, shards int) (*ShardedResult, 
 // explanations are always one Poll away.
 type StreamSession struct {
 	runner *core.StreamRunner
-
-	stopFlag atomic.Bool
-	done     chan struct{}
+	done   chan struct{}
 
 	// merger carries the incremental poll cache across polls: repeated
 	// polls over unchanged shard state are answered from the previous
@@ -149,41 +175,75 @@ type StreamSession struct {
 	// serializes merger access — snapshots themselves still fan out
 	// concurrently, so overlapping Poll calls contend only on the
 	// merge/cache step.
+	//
+	// Snapshot elision rides on the same lock: the session retains the
+	// newest snapshot clone and Signature per shard, sends the
+	// signatures as snapshot hints, and a shard whose state is
+	// provably unchanged answers with a signature-only marker instead
+	// of paying the slab-memcpy clone; the retained snapshot stands in
+	// during the merge (MergeShared never mutates its inputs' summary
+	// state, so retained snapshots stay valid across polls).
 	pollMu sync.Mutex
 	merger *explain.PollMerger
+	snaps  []*explain.Streaming
+	sigs   []explain.Signature
+	have   []bool
+	elide  bool // off when the explain cache is force-disabled
 
 	mu    sync.Mutex
 	final *ShardedResult
 	err   error
 }
 
+// shardSnap is what the session's snapshot hook returns per shard: the
+// shard's current summary signature, plus a fresh clone unless the
+// hint proved the caller's retained snapshot still current.
+type shardSnap struct {
+	sig   explain.Signature
+	clone *explain.Streaming // nil: elided, reuse the retained snapshot
+}
+
 // StartShardedStream validates the configuration and launches a
-// sharded streaming session over src. The session owns src until the
-// stream terminates.
+// sharded streaming session over a legacy pull source (adapted to a
+// single ingest partition). The session owns src until the stream
+// terminates.
 func StartShardedStream(src core.Source, cfg Config, shards int) (*StreamSession, error) {
+	return startSession(src, nil, cfg, shards)
+}
+
+// StartPartitionedStream launches a sharded streaming session over a
+// partitioned push source: one ingest goroutine per partition feeds
+// the shard workers directly. The session owns the source's
+// partitions until the stream terminates.
+func StartPartitionedStream(parts core.PartitionedSource, cfg Config, shards int) (*StreamSession, error) {
+	return startSession(nil, parts, cfg, shards)
+}
+
+func startSession(src core.Source, parts core.PartitionedSource, cfg Config, shards int) (*StreamSession, error) {
 	cfg = cfg.withDefaults()
 	if err := validateSharded(cfg, shards); err != nil {
 		return nil, err
 	}
-	s := &StreamSession{done: make(chan struct{}), merger: explain.NewPollMerger()}
+	s := &StreamSession{
+		done:   make(chan struct{}),
+		merger: explain.NewPollMerger(),
+		elide:  !cfg.DisableExplainCache,
+	}
 	explainers := make([]*explain.Streaming, shards)
-	s.runner = &core.StreamRunner{
-		Source: src,
-		Shards: shards,
-		NewShard: func(shard int) core.ShardPipeline {
-			pl := newShardPipeline(cfg, shard)
-			explainers[shard] = pl.Explainer.(*explain.Streaming)
-			return pl
-		},
-		// Poll clones the shard's summary on the worker goroutine:
-		// the worker keeps consuming after the snapshot is handed
-		// over, so the clone is the isolation boundary.
-		SnapshotShard: func(shard int, pl core.ShardPipeline) any {
-			return pl.Explainer.(*explain.Streaming).Clone()
-		},
-		BatchSize: cfg.BatchSize,
-		Decay:     core.DecayPolicy{EveryPoints: cfg.DecayEveryPoints},
-		Stop:      func(int) bool { return s.stopFlag.Load() },
+	s.runner = newStreamRunner(src, parts, cfg, shards, explainers)
+	// Poll clones the shard's summary on the worker goroutine: the
+	// worker keeps consuming after the snapshot is handed over, so the
+	// clone is the isolation boundary. When the hint (the signature
+	// retained from a previous poll) matches the current state, the
+	// clone — the poll path's last remaining per-shard memcpy — is
+	// skipped entirely.
+	s.runner.SnapshotShard = func(shard int, pl core.ShardPipeline, hint any) any {
+		ex := pl.Explainer.(*explain.Streaming)
+		sig := ex.Signature()
+		if h, ok := hint.(explain.Signature); ok && h == sig {
+			return shardSnap{sig: sig}
+		}
+		return shardSnap{sig: sig, clone: ex.Clone()}
 	}
 	go func() {
 		defer close(s.done)
@@ -199,18 +259,20 @@ func StartShardedStream(src core.Source, cfg Config, shards int) (*StreamSession
 			s.pollMu.Lock()
 			res.Explanations = s.merger.Merge(explainers)
 			res.Cache = s.merger.Stats()
+			// The final result is materialized; the retained snapshots
+			// have nothing left to serve.
+			s.snaps, s.sigs, s.have = nil, nil, nil
 			s.pollMu.Unlock()
 		}
-		// The final result is materialized; drop the runner's closure
-		// references (explainer replicas, source, config) so a session
-		// kept around for polling does not pin P shards of summary
-		// state. Post-done Poll/Stop only read s.final, and no
-		// goroutine reads these particular fields concurrently: Run
-		// has returned and Snapshot touches only SnapshotShard (left
-		// in place — its closure captures nothing).
+		// Drop the runner's closure references (explainer replicas,
+		// source, config) so a session kept around for polling does not
+		// pin P shards of summary state. Post-done Poll/Stop only read
+		// s.final, and no goroutine reads these particular fields
+		// concurrently: Run has returned and Snapshot touches only
+		// SnapshotShard (left in place — its closure captures nothing).
 		s.runner.NewShard = nil
 		s.runner.Source = nil
-		s.runner.Stop = nil
+		s.runner.Partitioned = nil
 		s.mu.Lock()
 		s.final = res
 		if err != core.ErrStopped {
@@ -236,28 +298,76 @@ func (s *StreamSession) Done() bool {
 // statistics. While the stream runs, per-shard summary clones are
 // taken on the shard workers between batches and merged off to the
 // side, without pausing ingest; after termination it returns the
-// final result. Polls are served incrementally: when the per-shard
-// epoch signatures show no state movement since the previous poll the
-// merged result is replayed from the session cache, and inlier-only
+// final result. Polls are served incrementally: a shard whose epoch
+// signature is unchanged since the previous poll skips its snapshot
+// clone outright (the retained snapshot stands in), a poll over fully
+// unchanged state replays the previous merged result, and inlier-only
 // movement reuses the previous poll's mined itemset table (Cache in
 // the result reports the cumulative counters).
 func (s *StreamSession) Poll() (*ShardedResult, error) {
 	for !s.Done() {
-		snaps, err := s.runner.Snapshot()
-		if err == nil {
-			explainers := make([]*explain.Streaming, len(snaps))
-			for i, v := range snaps {
-				explainers[i] = v.(*explain.Streaming)
-			}
-			live := s.runner.LiveStats()
-			// The snapshots are poll-owned clones, so the consuming
-			// merge skips a redundant deep copy. The merger is shared
-			// session state: pollMu keeps each poll's signature check,
-			// merge, and cache refresh atomic, so an epoch bump
-			// observed by a concurrent poll can never publish a torn
-			// (signature-of-A, explanations-of-B) pair.
+		var hints []any
+		if s.elide {
 			s.pollMu.Lock()
-			exps := s.merger.Merge(explainers)
+			for i, ok := range s.have {
+				if ok {
+					if hints == nil {
+						hints = make([]any, len(s.have))
+					}
+					hints[i] = s.sigs[i]
+				}
+			}
+			s.pollMu.Unlock()
+		}
+		snaps, err := s.runner.Snapshot(hints)
+		if err == nil {
+			live := s.runner.LiveStats()
+			// The merger and the retained snapshots are shared session
+			// state: pollMu keeps each poll's signature check, merge,
+			// and cache refresh atomic, so an epoch bump observed by a
+			// concurrent poll can never publish a torn
+			// (signature-of-A, explanations-of-B) pair — per shard, an
+			// elided marker always pairs with the retained snapshot it
+			// was hinted from (or a newer, equally consistent one).
+			s.pollMu.Lock()
+			explainers := make([]*explain.Streaming, len(snaps))
+			elided := 0
+			stale := false
+			for i, v := range snaps {
+				sn := v.(shardSnap)
+				if sn.clone != nil {
+					if s.elide {
+						s.retain(i, sn.sig, sn.clone)
+					}
+					explainers[i] = sn.clone
+				} else if i < len(s.snaps) && s.have[i] {
+					// Elision is only offered when a hint was sent, and
+					// hints are only sent for retained shards, so the
+					// retained snapshot is normally present.
+					elided++
+					explainers[i] = s.snaps[i]
+				} else {
+					// The stream terminated between our snapshot round
+					// and this merge, and the final reconciliation
+					// dropped the retained snapshots this marker points
+					// at. Retry: the Done check serves the final result.
+					stale = true
+					break
+				}
+			}
+			if stale {
+				s.pollMu.Unlock()
+				continue
+			}
+			var exps []core.Explanation
+			if s.elide {
+				s.merger.NoteElidedSnapshots(elided)
+				exps = s.merger.MergeShared(explainers)
+			} else {
+				// Cache-disabled sessions take the owning fold: every
+				// snapshot is a throwaway clone.
+				exps = s.merger.Merge(explainers)
+			}
 			cstats := s.merger.Stats()
 			s.pollMu.Unlock()
 			return &ShardedResult{
@@ -282,15 +392,57 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 	return s.final, s.err
 }
 
+// retain records shard i's newest snapshot clone and signature for
+// future elision. Caller holds pollMu. Overlapping polls can reach
+// this out of order (snapshot rounds run outside pollMu), so an
+// incoming snapshot only replaces the retained one when it is at least
+// as new — tree epochs are monotonic within a shard's lineage — lest a
+// slow poll roll the retained state backwards and a later elided poll
+// serve explanations older than ones already published.
+func (s *StreamSession) retain(i int, sig explain.Signature, sn *explain.Streaming) {
+	for len(s.snaps) <= i {
+		s.snaps = append(s.snaps, nil)
+		s.sigs = append(s.sigs, explain.Signature{})
+		s.have = append(s.have, false)
+	}
+	if s.have[i] && (s.sigs[i].OutEpoch > sig.OutEpoch || s.sigs[i].InEpoch > sig.InEpoch) {
+		return
+	}
+	s.snaps[i], s.sigs[i], s.have[i] = sn, sig, true
+}
+
 // Stop halts ingestion, waits for the workers to drain and flush, and
-// returns the final reconciled result. Stop is idempotent. The stop
-// flag is polled between source batches (the same cooperative model as
-// core.Runner), so termination requires Source.Next to return; a
-// source that can block indefinitely waiting for data should enforce
-// its own read deadline.
+// returns the final reconciled result. Stop is idempotent. Ingestion
+// is interrupted mid-read for context-aware sources (partitioned
+// backends such as ingest.Push and ingest.PartitionedCSV); a legacy
+// Source blocked inside Next delays Stop until that call returns — use
+// StopContext to bound the wait.
 func (s *StreamSession) Stop() (*ShardedResult, error) {
-	s.stopFlag.Store(true)
-	<-s.done
+	return s.StopContext(context.Background())
+}
+
+// StopContext is Stop with a deadline: it requests the stop, and if
+// the stream has not fully drained by the time ctx expires — a
+// partition stuck in a read that honors no cancellation, i.e. a legacy
+// Source whose Next never returns — it abandons ingestion: workers
+// consume what was already queued, flush, and the final reconciled
+// result is returned promptly, while the stuck read is left to its
+// fate (its goroutine exits silently if it ever returns). The result
+// is therefore complete up to abandonment; points a stuck partition
+// would have delivered later are not waited for. A context that is
+// already expired abandons immediately.
+func (s *StreamSession) StopContext(ctx context.Context) (*ShardedResult, error) {
+	s.runner.RequestStop()
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		// Deadline passed with ingestion still wedged: give up on the
+		// blocked partitions and drain what the workers already have.
+		// Abandon bounds the remaining work (queued batches + flush +
+		// final merge), so this second wait is short.
+		s.runner.Abandon()
+		<-s.done
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.final, s.err
