@@ -5,14 +5,16 @@ package main
 // through testing.Benchmark, embeds ns/op + allocs/op in the -json
 // report, and -compare fails the process (exit 1) when any kernel
 // inflates more than 2x in ns/op or allocs/op against a committed
-// baseline report (BENCH_PR4.json). CI runs the comparator on every
+// baseline report (BENCH_PR5.json). CI runs the comparator on every
 // push, so a hot path can only regress past 2x by committing a new
 // baseline.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -20,6 +22,7 @@ import (
 	"testing"
 
 	"macrobase/internal/core"
+	"macrobase/internal/encode"
 	"macrobase/internal/explain"
 	"macrobase/internal/fptree"
 	"macrobase/internal/gen"
@@ -202,6 +205,94 @@ func microBenchmarks() []benchResult {
 				panic(err)
 			}
 			b.StopTimer()
+		}),
+		runKernel("Route/p3s4", func(b *testing.B) {
+			// Pure data-plane kernel: 3 producers feed a 4-shard
+			// StreamRunner whose shards have no classifier or explainer,
+			// so one op is one 1024-point batch through producer enqueue,
+			// partition read, hash routing into pooled per-shard slabs,
+			// and worker consumption — the ingest plane with the
+			// analytics stripped out.
+			d := gen.Devices(gen.DeviceConfig{Points: 64_512, Devices: 400, Seed: 42})
+			const batchPts = 1024
+			var batches [][]core.Point
+			for off := 0; off+batchPts <= len(d.Points); off += batchPts {
+				batches = append(batches, d.Points[off:off+batchPts])
+			}
+			const producers = 3
+			src := ingest.NewPush(producers, 4)
+			sr := &core.StreamRunner{
+				Partitioned: src,
+				Shards:      4,
+				NewShard:    func(int) core.ShardPipeline { return core.ShardPipeline{} },
+				BatchSize:   batchPts,
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					pr := src.Producer(p)
+					ctx := context.Background()
+					for i := p; i < b.N; i += producers {
+						if err := pr.Send(ctx, batches[i%len(batches)]); err != nil {
+							return
+						}
+					}
+					pr.Close()
+				}(p)
+			}
+			if _, err := sr.Run(); err != nil {
+				panic(err)
+			}
+			wg.Wait()
+			b.StopTimer()
+		}),
+		runKernel("PushIngest/binary-decode", func(b *testing.B) {
+			// Binary wire-format decode kernel: one op decodes a
+			// 1024-row "MBR1" buffer into a recycled batch through a
+			// warm encoder — the per-request parse cost of mbserver's
+			// binary push path, allocation-free in steady state.
+			const rows = 1024
+			var buf bytes.Buffer
+			w := ingest.NewBinaryRowWriter(&buf)
+			for i := 0; i < rows; i++ {
+				err := w.WriteRow(
+					[]float64{10 + float64(i%40)},
+					[]string{fmt.Sprintf("dev%d", i%400), fmt.Sprintf("v%d", i%3)},
+					0,
+				)
+				if err != nil {
+					panic(err)
+				}
+			}
+			data := buf.Bytes()
+			schema := ingest.Schema{Metrics: []string{"power"}, Attributes: []string{"device", "version"}}
+			enc := encode.NewEncoder("device", "version")
+			rd := bytes.NewReader(data)
+			dec := ingest.NewBinaryRowReader(rd, schema, enc)
+			batch := &core.Batch{}
+			decode := func() {
+				rd.Reset(data)
+				dec.Reset(rd)
+				batch.Reset()
+				for {
+					if _, err := dec.ReadInto(batch, 4096); err == io.EOF {
+						break
+					} else if err != nil {
+						panic(err)
+					}
+				}
+				if batch.Len() != rows {
+					panic("short binary decode")
+				}
+			}
+			decode() // warm: intern attrs, size scratch and slabs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				decode()
+			}
 		}),
 		runKernel("FPGrowthMine", func(b *testing.B) {
 			txs := make([][]int32, 0, 20_000)

@@ -14,13 +14,35 @@
 //	                           returns its id
 //	GET  /stream/{id}          polls the session's current reconciled
 //	                           explanation set without pausing ingest
-//	POST /stream/{id}/push     NDJSON point records pushed into a
-//	                           session started with "input":"push";
-//	                           ?partition=N pins a partition (default
-//	                           round-robin), ?eof=1 ends the stream
-//	                           after this request's points
+//	POST /stream/{id}/push     point records pushed into a session
+//	                           started with "input":"push"; the body is
+//	                           NDJSON by default, or the compact binary
+//	                           row format below under Content-Type
+//	                           application/x-macrobase-rows (or
+//	                           ?format=binary); ?partition=N pins a
+//	                           partition (default round-robin), ?eof=1
+//	                           ends the stream after this request's
+//	                           points
 //	POST /stream/{id}/stop     halts the session and returns its final
 //	                           result (also DELETE /stream/{id})
+//
+// Push wire formats. NDJSON: one JSON object per record,
+// {"metrics":[...],"attributes":{"col":"value",...},"time":t}. The
+// binary row format is for high-rate producers that want to skip JSON
+// entirely — the stream is the 4-byte magic "MBR1" followed by
+// length-prefixed rows (uvarint bodyLen, then: flags byte with bit 0 =
+// has-time; float64le time iff flagged; uvarint metric count + that
+// many float64le; uvarint attribute count + per attribute uvarint
+// length + raw UTF-8 bytes, in the session's configured column order);
+// see internal/ingest/binrows.go for the authoritative spec. Both
+// formats decode through per-session pooled decoders straight into
+// recycled batch slabs, so a steady-rate producer costs the server no
+// steady-state allocations on the binary path.
+//
+// Poll and stop responses for push sessions carry an "ingest" block:
+// per-partition producer-side counters (queued batches, cumulative
+// blocked nanoseconds, batches/points accepted) that make backpressure
+// observable before clients start timing out.
 //
 // Usage:
 //
@@ -49,6 +71,7 @@ import (
 	"io"
 	"log"
 	"math"
+	"mime"
 	"net/http"
 	"os"
 	"runtime"
@@ -232,10 +255,31 @@ type streamState struct {
 	closeOnce sync.Once
 
 	// push ingestion state (nil for CSV sessions). nextPart deals
-	// unpinned push requests round-robin across partitions.
+	// unpinned push requests round-robin across partitions; decoders
+	// pools this session's push decoders (schema- and encoder-bound
+	// scratch) across requests.
 	push     *ingest.Push
 	schema   ingest.Schema
 	nextPart atomic.Uint64
+	decoders sync.Pool
+}
+
+// pushDecoder is one request's decoding scratch, pooled per session:
+// the binary row reader (reset per request) and the NDJSON record
+// scratch whose metrics slice and attribute map are reused across
+// records.
+type pushDecoder struct {
+	bin  *ingest.BinaryRowReader
+	rec  pushRecord
+	abuf []int32
+}
+
+// getDecoder fetches a pooled decoder (or a fresh one).
+func (st *streamState) getDecoder() *pushDecoder {
+	if d, ok := st.decoders.Get().(*pushDecoder); ok {
+		return d
+	}
+	return &pushDecoder{}
 }
 
 // reapFile closes the input file once the session no longer reads it.
@@ -420,13 +464,18 @@ type pushRecord struct {
 	Time float64 `json:"time,omitempty"`
 }
 
-// handlePush appends NDJSON point records to a push session. The whole
-// request body becomes one batch on one partition (?partition=N pins
-// it; otherwise requests are dealt round-robin), so per-producer
-// ordering is preserved by pinning. Backpressure propagates: when the
-// pipeline is behind, the request blocks until the partition queue
-// drains or the client gives up. ?eof=1 closes every partition after
-// this request's points, ending the stream once drained.
+// handlePush appends point records — NDJSON, or the binary row format
+// under Content-Type application/x-macrobase-rows (or ?format=binary)
+// — to a push session. The whole request body becomes one batch on one
+// partition (?partition=N pins it; otherwise requests are dealt
+// round-robin), so per-producer ordering is preserved by pinning. The
+// records decode straight into a batch loaned from the session's
+// recycled free list through a per-session pooled decoder, so the
+// request goroutine's parse cost is the format's floor (on the binary
+// path, allocation-free). Backpressure propagates: when the pipeline
+// is behind, the request blocks until the partition queue drains or
+// the client gives up. ?eof=1 closes every partition after this
+// request's points, ending the stream once drained.
 func (g *streamRegistry) handlePush(w http.ResponseWriter, r *http.Request) {
 	st, id, ok := g.lookup(r)
 	if !ok {
@@ -456,8 +505,18 @@ func (g *streamRegistry) handlePush(w http.ResponseWriter, r *http.Request) {
 	// several requests, and the partition queue's backpressure — not
 	// server memory — absorbs the burst.
 	body := http.MaxBytesReader(w, r.Body, maxPushBody)
-	pts, err := decodePushPoints(body, st)
+	pr := st.push.Producer(part)
+	b := pr.GetBatch()
+	dec := st.getDecoder()
+	var err error
+	if binaryPush(r) {
+		err = st.decodeBinary(body, b, dec)
+	} else {
+		err = st.decodeNDJSON(body, b, dec)
+	}
+	st.decoders.Put(dec)
 	if err != nil {
+		pr.PutBatch(b)
 		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -466,10 +525,11 @@ func (g *streamRegistry) handlePush(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	if len(pts) > 0 {
+	accepted := b.Len()
+	if accepted > 0 {
 		// The request context bounds the backpressure wait: a client
 		// that disconnects releases its queue claim.
-		if err := st.push.Producer(part).Send(r.Context(), pts); err != nil {
+		if err := pr.SendBatch(r.Context(), b); err != nil {
 			status := http.StatusServiceUnavailable
 			if err == ingest.ErrProducerClosed {
 				status = http.StatusConflict
@@ -477,42 +537,78 @@ func (g *streamRegistry) handlePush(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), status)
 			return
 		}
+	} else {
+		pr.PutBatch(b)
 	}
 	eof := r.URL.Query().Get("eof") != ""
 	if eof {
 		st.push.CloseAll()
 	}
-	writeJSON(w, map[string]any{"accepted": len(pts), "partition": part, "eof": eof})
+	writeJSON(w, map[string]any{"accepted": accepted, "partition": part, "eof": eof})
 }
 
-// decodePushPoints parses NDJSON records and encodes them into points
-// under the session's schema and encoder.
-func decodePushPoints(body io.Reader, st *streamState) ([]core.Point, error) {
-	dec := json.NewDecoder(body)
-	var pts []core.Point
-	for line := 1; ; line++ {
-		var rec pushRecord
-		if err := dec.Decode(&rec); err == io.EOF {
-			return pts, nil
+// binaryPush reports whether the request carries the binary row
+// format. Media types are case-insensitive with optional parameters
+// (RFC 9110), so the header goes through mime.ParseMediaType rather
+// than a string compare.
+func binaryPush(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "binary" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && mt == ingest.BinaryContentType
+}
+
+// decodeBinary parses binary rows into b through the session's pooled
+// row reader (schema validation and attribute interning included).
+func (st *streamState) decodeBinary(body io.Reader, b *core.Batch, d *pushDecoder) error {
+	if d.bin == nil {
+		d.bin = ingest.NewBinaryRowReader(body, st.schema, st.enc)
+	} else {
+		d.bin.Reset(body)
+	}
+	for {
+		if _, err := d.bin.ReadInto(b, 8192); err == io.EOF {
+			return nil
 		} else if err != nil {
-			return nil, fmt.Errorf("record %d: %w", line, err)
+			return err
 		}
-		if len(rec.Metrics) != len(st.schema.Metrics) {
-			return nil, fmt.Errorf("record %d: %d metrics, want %d (%v)", line, len(rec.Metrics), len(st.schema.Metrics), st.schema.Metrics)
+	}
+}
+
+// decodeNDJSON parses NDJSON records into b under the session's schema
+// and encoder. The record scratch (metrics slice, attribute map,
+// encoded-id buffer) is pooled; the per-record strings the JSON
+// decoder materializes are the path's allocation floor — producers
+// that need less use the binary format.
+func (st *streamState) decodeNDJSON(body io.Reader, b *core.Batch, d *pushDecoder) error {
+	dec := json.NewDecoder(body)
+	if cap(d.abuf) < len(st.schema.Attributes) {
+		d.abuf = make([]int32, len(st.schema.Attributes))
+	}
+	abuf := d.abuf[:len(st.schema.Attributes)]
+	for line := 1; ; line++ {
+		// Reset the reused scratch so a field omitted by this record
+		// cannot inherit the previous record's value.
+		d.rec.Metrics = d.rec.Metrics[:0]
+		d.rec.Time = 0
+		clear(d.rec.Attributes)
+		if err := dec.Decode(&d.rec); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("record %d: %w", line, err)
 		}
-		p := core.Point{
-			Metrics: rec.Metrics,
-			Attrs:   make([]int32, len(st.schema.Attributes)),
-			Time:    rec.Time,
+		if len(d.rec.Metrics) != len(st.schema.Metrics) {
+			return fmt.Errorf("record %d: %d metrics, want %d (%v)", line, len(d.rec.Metrics), len(st.schema.Metrics), st.schema.Metrics)
 		}
 		for j, col := range st.schema.Attributes {
-			v, ok := rec.Attributes[col]
+			v, ok := d.rec.Attributes[col]
 			if !ok {
-				return nil, fmt.Errorf("record %d: missing attribute %q", line, col)
+				return fmt.Errorf("record %d: missing attribute %q", line, col)
 			}
-			p.Attrs[j] = st.enc.Encode(j, v)
+			abuf[j] = st.enc.Encode(j, v)
 		}
-		pts = append(pts, p)
+		b.Append(d.rec.Metrics, abuf, d.rec.Time)
 	}
 }
 
@@ -532,13 +628,18 @@ func (g *streamRegistry) lookup(r *http.Request) (*streamState, string, bool) {
 // how many ran a full FPGrowth mine), so cache effectiveness is
 // observable per stream.
 type streamResponse struct {
-	ID           string             `json:"id"`
-	Done         bool               `json:"done"`
-	Points       int                `json:"points"`
-	Outliers     int                `json:"outliers"`
-	DecayTicks   int                `json:"decayTicks"`
-	Cache        explain.CacheStats `json:"cache"`
-	Explanations []explanationJSON  `json:"explanations"`
+	ID         string             `json:"id"`
+	Done       bool               `json:"done"`
+	Points     int                `json:"points"`
+	Outliers   int                `json:"outliers"`
+	DecayTicks int                `json:"decayTicks"`
+	Cache      explain.CacheStats `json:"cache"`
+	// Ingest, for push sessions, reports live per-partition
+	// producer-side counters: queue depth and cumulative blocked time
+	// (backpressure felt by producers) plus accepted batch/point
+	// totals.
+	Ingest       []core.PartitionIngestStats `json:"ingest,omitempty"`
+	Explanations []explanationJSON           `json:"explanations"`
 }
 
 func (g *streamRegistry) handlePoll(w http.ResponseWriter, r *http.Request) {
@@ -599,6 +700,9 @@ func writeStreamResponse(w http.ResponseWriter, id string, st *streamState, res 
 		Outliers:   res.Stats.Outliers,
 		DecayTicks: res.Stats.DecayTicks,
 		Cache:      res.Cache,
+	}
+	if st.push != nil {
+		resp.Ingest = st.push.IngestStats(nil)
 	}
 	resp.Explanations = explanationsJSON(exps)
 	writeJSON(w, resp)

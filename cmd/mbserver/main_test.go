@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -9,9 +10,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"macrobase/internal/ingest"
 )
 
 // writeTestCSV materializes a small CSV with one anomalous device.
@@ -412,4 +417,225 @@ func TestStreamPushErrors(t *testing.T) {
 	}
 	postJSON(t, srv.URL+"/stream/"+id+"/stop", nil)
 	postJSON(t, srv.URL+"/stream/"+csvID+"/stop", nil)
+}
+
+// pushBinary posts a binary row body under the binary content type.
+func pushBinary(t *testing.T, url string, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, ingest.BinaryContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+// binaryPushBody encodes records into one binary request body.
+func binaryPushBody(t *testing.T, recs []pushTestRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := ingest.NewBinaryRowWriter(&buf)
+	for _, r := range recs {
+		if err := w.WriteRow(r.metrics, r.attrs, r.time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+type pushTestRecord struct {
+	metrics []float64
+	attrs   []string
+	time    float64
+}
+
+// pushTestRecords builds a deterministic workload with one anomalous
+// device.
+func pushTestRecords(n int) []pushTestRecord {
+	rng := rand.New(rand.NewPCG(11, 13))
+	recs := make([]pushTestRecord, n)
+	for i := range recs {
+		dev := fmt.Sprintf("dev%d", rng.IntN(20))
+		v := 10 + rng.NormFloat64()*2
+		if dev == "dev7" && rng.Float64() < 0.5 {
+			v = 60 + rng.NormFloat64()*2
+		}
+		recs[i] = pushTestRecord{metrics: []float64{v}, attrs: []string{dev, fmt.Sprintf("v%d", i%3)}}
+	}
+	return recs
+}
+
+// ndjsonPushBody encodes the same records as NDJSON.
+func ndjsonPushBody(recs []pushTestRecord) string {
+	var b strings.Builder
+	for _, r := range recs {
+		fmt.Fprintf(&b, "{\"metrics\":[%v],\"attributes\":{\"device\":%q,\"version\":%q}}\n",
+			r.metrics[0], r.attrs[0], r.attrs[1])
+	}
+	return b.String()
+}
+
+// waitStreamDone polls until the session reports done (eof drained).
+func waitStreamDone(t *testing.T, srv *httptest.Server, id string) streamResponse {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		var poll streamResponse
+		if code := getJSON(t, srv.URL+"/stream/"+id, &poll); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if poll.Done {
+			return poll
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("stream did not finish")
+	return streamResponse{}
+}
+
+// TestStreamPushBinaryMatchesNDJSON: the same records pushed through
+// the binary row format and through NDJSON, with identical request
+// chunking, must produce identical ranked explanations — the wire
+// format is presentation, not semantics. The poll/stop responses must
+// also carry the producer-side ingest counters.
+func TestStreamPushBinaryMatchesNDJSON(t *testing.T) {
+	srv := httptest.NewServer(newMux(newStreamRegistry()))
+	defer srv.Close()
+	recs := pushTestRecords(10_000)
+	cfg := `{"input":"push","metrics":["power"],"attributes":["device","version"],"minSupport":0.05,"decayEveryPoints":4000,"shards":2,"partitions":1}`
+	const chunk = 2500
+
+	run := func(binary bool) streamResponse {
+		id := startStream(t, srv, cfg)
+		pushURL := srv.URL + "/stream/" + id + "/push"
+		for off := 0; off < len(recs); off += chunk {
+			part := recs[off : off+chunk]
+			if binary {
+				code, out := pushBinary(t, pushURL, binaryPushBody(t, part))
+				if code != http.StatusOK || int(out["accepted"].(float64)) != chunk {
+					t.Fatalf("binary push: status %d, %v", code, out)
+				}
+			} else {
+				code, out := pushNDJSON(t, pushURL, ndjsonPushBody(part))
+				if code != http.StatusOK || int(out["accepted"].(float64)) != chunk {
+					t.Fatalf("ndjson push: status %d, %v", code, out)
+				}
+			}
+		}
+		if code, _ := pushNDJSON(t, pushURL+"?eof=1", ""); code != http.StatusOK {
+			t.Fatalf("eof status %d", code)
+		}
+		waitStreamDone(t, srv, id)
+		var final streamResponse
+		if code := postJSON(t, srv.URL+"/stream/"+id+"/stop", &final); code != http.StatusOK {
+			t.Fatalf("stop status %d", code)
+		}
+		if final.Points != len(recs) {
+			t.Fatalf("final points %d, want %d", final.Points, len(recs))
+		}
+		if len(final.Ingest) != 1 {
+			t.Fatalf("ingest block: %+v", final.Ingest)
+		}
+		if final.Ingest[0].Points != int64(len(recs)) || final.Ingest[0].Batches != 4 {
+			t.Fatalf("ingest counters: %+v", final.Ingest[0])
+		}
+		return final
+	}
+
+	nd := run(false)
+	bin := run(true)
+	if len(nd.Explanations) == 0 {
+		t.Fatal("ndjson run produced no explanations; equivalence is vacuous")
+	}
+	if !reflect.DeepEqual(nd.Explanations, bin.Explanations) {
+		t.Fatalf("binary and NDJSON runs diverge:\n ndjson %+v\n binary %+v", nd.Explanations, bin.Explanations)
+	}
+}
+
+// TestStreamPushBinaryErrors: malformed binary bodies are clean 400s
+// with the session still usable, and ?format=binary selects the
+// decoder without the content type.
+func TestStreamPushBinaryErrors(t *testing.T) {
+	srv := httptest.NewServer(newMux(newStreamRegistry()))
+	defer srv.Close()
+	id := startStream(t, srv, `{"input":"push","metrics":["power"],"attributes":["device"],"shards":2}`)
+	pushURL := srv.URL + "/stream/" + id + "/push"
+
+	if code, _ := pushBinary(t, pushURL, []byte("garbage-not-mbr1")); code != http.StatusBadRequest {
+		t.Fatalf("bad magic: status %d, want 400", code)
+	}
+	// Truncated row after valid magic.
+	var buf bytes.Buffer
+	w := ingest.NewBinaryRowWriter(&buf)
+	if err := w.WriteRow([]float64{1}, []string{"d0"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := pushBinary(t, pushURL, buf.Bytes()[:buf.Len()-2]); code != http.StatusBadRequest {
+		t.Fatalf("truncated row: status %d, want 400", code)
+	}
+	// Arity mismatch.
+	buf.Reset()
+	w = ingest.NewBinaryRowWriter(&buf)
+	if err := w.WriteRow([]float64{1, 2}, []string{"d0"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := pushBinary(t, pushURL, buf.Bytes()); code != http.StatusBadRequest {
+		t.Fatalf("arity mismatch: status %d, want 400", code)
+	}
+
+	// The session survives the bad requests; ?format=binary works
+	// without the content type.
+	buf.Reset()
+	w = ingest.NewBinaryRowWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.WriteRow([]float64{float64(i)}, []string{"d0"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(pushURL+"?format=binary", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || int(out["accepted"].(float64)) != 10 {
+		t.Fatalf("format=binary push: status %d, %v", resp.StatusCode, out)
+	}
+
+	// Media types are case-insensitive (RFC 9110): a mixed-case binary
+	// content type with parameters must still select the binary decoder.
+	req, err := http.NewRequest(http.MethodPost, pushURL, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "Application/X-Macrobase-Rows; charset=binary")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear(out)
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || int(out["accepted"].(float64)) != 10 {
+		t.Fatalf("mixed-case binary content type: status %d, %v", resp.StatusCode, out)
+	}
+
+	// An empty binary body with ?eof=1 must end the stream cleanly,
+	// exactly like the NDJSON idiom — not 400 with the eof dropped.
+	if code, out := pushBinary(t, pushURL+"?eof=1", nil); code != http.StatusOK || out["eof"] != true {
+		t.Fatalf("empty binary eof: status %d, %v", code, out)
+	}
+	waitStreamDone(t, srv, id)
+	postJSON(t, srv.URL+"/stream/"+id+"/stop", nil)
 }

@@ -194,4 +194,69 @@
 // a quiet stream therefore clone nothing at all —
 // CacheStats.SnapshotsElided, next to the other cache counters in the
 // /stream/{id} response, makes the savings observable per session.
+//
+// # Allocation-free ingest data plane
+//
+// The ingest data plane — producer, partition read, partition→shard
+// routing, worker consumption — runs on recycled slab batches
+// (core.Batch: one flat []float64 metrics slab and one flat []int32
+// attrs slab per batch, with per-row Point views sub-slicing them) and
+// an explicit recycling protocol (core.BatchPool), so steady-state
+// ingest never touches the allocator: on the profile that motivated
+// the design, the previous per-batch []Point sub-slices and their
+// interior slice pointers cost roughly 40% of ingest CPU in GC work
+// alone, and the slab rewrite roughly halved the PushIngest kernel's
+// ns/op while taking the routed path to zero allocations per batch
+// (testing.AllocsPerRun-pinned, like the explain path before it).
+//
+// Batch ownership is the load-bearing contract: a batch has exactly
+// one owner, and handing it on (channel send, core.BatchPartition
+// ownership swap, BatchPool.Put) ends the previous owner's right to
+// touch it or any Point views taken from it. Concretely:
+//
+//   - Sources. A partition stream implementing core.BatchPartition is
+//     loaned an empty recycled batch to fill (CSVSource.NextInto
+//     parses rows straight into the slabs); a source that already
+//     holds a filled batch returns it and keeps the loan instead — the
+//     ownership swap that lets ingest.Push hand a producer's batch to
+//     the engine without copying a byte while both free lists stay in
+//     equilibrium. Legacy PartitionStream sources may reuse their
+//     returned backing arrays after their next NextBatch call: the
+//     engine deep-copies during routing and retains nothing.
+//
+//   - Producers. ingest.Push producers either loan-and-fill
+//     (GetBatch/SendBatch, allocation-free) or Send([]Point), which
+//     wraps the caller's points zero-copy in a borrowed batch — there
+//     ownership of the points transfers to the stream until routed.
+//
+//   - Routing. The ingest goroutine scatters each point's payload into
+//     pooled per-shard batches (the one unavoidable copy, and the one
+//     that severs all sharing with source memory); with a single shard
+//     even that disappears — the worker takes the source-filled batch
+//     outright.
+//
+//   - Consumers. A shard worker consumes a batch's views and returns
+//     the batch to the free list, so everything downstream of the
+//     channel — transformers, classifiers, explainers, OnBatch hooks —
+//     must copy whatever point data it retains beyond the call that
+//     delivered it. Every built-in operator already does: classifier
+//     reservoirs copy admitted metric vectors, explanation sketches
+//     and trees copy attribute ids, windowing transformers copy what
+//     they buffer. A recycling -race hammer pins that no slab is ever
+//     visible to two owners.
+//
+// Producer-side backpressure is observable: each push partition meters
+// its queue depth and the cumulative time producers spent blocked on a
+// full queue (core.PartitionIngestStats), surfaced in
+// core.StreamStats.Ingest when a run ends and live in mbserver's
+// /stream/{id} "ingest" block.
+//
+// On the wire, mbserver's POST /stream/{id}/push accepts — next to
+// NDJSON — a compact length-prefixed binary row format ("MBR1",
+// specified in internal/ingest/binrows.go) so high-rate producers skip
+// JSON entirely: both formats decode through per-session pooled
+// decoders straight into loaned batches, and the binary path
+// (ingest.BinaryRowReader + encode.Encoder.EncodeBytes, whose
+// interned-value lookups never materialize a string) is
+// allocation-free in steady state.
 package macrobase

@@ -31,7 +31,6 @@ import (
 	"sync"
 	"time"
 
-	"macrobase/internal/core"
 	"macrobase/internal/encode"
 	"macrobase/internal/ingest"
 	"macrobase/internal/pipeline"
@@ -58,7 +57,11 @@ func main() {
 	}
 
 	// N independent producers, one per partition, each with its own
-	// RNG and batch cadence.
+	// RNG and batch cadence. Each builds its batches through the
+	// buffer-loan API: GetBatch hands back a recycled slab batch, the
+	// producer appends rows into it, and SendBatch transfers ownership
+	// to the stream — the engine returns consumed batches to the same
+	// free list, so the steady-state producer loop never allocates.
 	var producers sync.WaitGroup
 	for p := 0; p < partitions; p++ {
 		producers.Add(1)
@@ -67,9 +70,11 @@ func main() {
 			rng := rand.New(rand.NewPCG(uint64(p), 99))
 			pr := src.Producer(p)
 			ctx := context.Background()
+			metrics := make([]float64, 1)
+			attrs := make([]int32, 2)
 			for sent := 0; sent < 60_000; {
-				batch := make([]core.Point, 2000)
-				for i := range batch {
+				batch := pr.GetBatch()
+				for i := 0; i < 2000; i++ {
 					dev := fmt.Sprintf("d%d", rng.IntN(200))
 					ver := versions[rng.IntN(len(versions))]
 					drain := 10 + rng.NormFloat64()*2
@@ -79,18 +84,20 @@ func main() {
 					case rng.Float64() < 0.002:
 						drain = 45 + rng.NormFloat64()*5 // sporadic background issues
 					}
-					batch[i] = core.Point{
-						Metrics: []float64{drain},
-						Attrs:   []int32{enc.Encode(0, dev), enc.Encode(1, ver)},
-					}
+					metrics[0] = drain
+					attrs[0] = enc.Encode(0, dev)
+					attrs[1] = enc.Encode(1, ver)
+					batch.Append(metrics, attrs, 0)
 				}
-				// Send blocks when the pipeline falls behind: the
+				n := batch.Len()
+				// SendBatch blocks when the pipeline falls behind: the
 				// producer feels backpressure instead of buffering
-				// without bound.
-				if err := pr.Send(ctx, batch); err != nil {
+				// without bound (the blocked time shows up in the
+				// ingest stats below).
+				if err := pr.SendBatch(ctx, batch); err != nil {
 					return
 				}
-				sent += len(batch)
+				sent += n
 			}
 			pr.Close()
 		}(p)
@@ -127,6 +134,13 @@ func main() {
 	enc.Decorate(final.Explanations)
 	fmt.Printf("\nfinal: %d points across %d partitions -> %d shards, %d outliers\n",
 		final.Stats.Points, partitions, shards, final.Stats.Outliers)
+	// The engine surfaced the producer-side counters in the final
+	// stats: how much each partition queued and how long its producer
+	// spent blocked on backpressure.
+	for p, ig := range final.Stats.Ingest {
+		fmt.Printf("partition %d: %d batches / %d points accepted, producer blocked %v total\n",
+			p, ig.Batches, ig.Points, time.Duration(ig.BlockedNanos))
+	}
 	for i, e := range final.Explanations {
 		fmt.Printf("%d. %s\n", i+1, e.String())
 	}

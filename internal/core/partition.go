@@ -12,12 +12,62 @@ import "context"
 // NextBatch returns at most max points. It returns ErrEndOfStream when
 // the partition is exhausted, and ctx.Err() promptly after ctx is
 // cancelled — including while blocked waiting for data. A non-empty
-// batch and an error may not be combined. Like Source, the returned
-// backing arrays must stay untouched until the next NextBatch call on
-// the same partition; the Metrics/Attrs slices inside the points must
-// not be reused at all (the engine shares them downstream).
+// batch and an error may not be combined. The returned backing arrays
+// — the point slice and the Metrics/Attrs slices inside it — must
+// stay untouched until the next NextBatch call on the same partition;
+// after that call they may be reused freely, because the engine
+// deep-copies every point's payload into its own recycled slabs during
+// routing and retains nothing across calls. (This is the buffer-reuse
+// contract that lets CSVSource parse in place and ingest.Push recycle
+// producer batches; it is deliberately weaker than the pre-recycling
+// engine's "never reuse", which shared the slices downstream.)
 type PartitionStream interface {
 	NextBatch(ctx context.Context, max int) ([]Point, error)
+}
+
+// BatchPartition is the slab-native form of a partition stream: the
+// engine loans it an empty recycled Batch to fill, so a steady-state
+// read allocates nothing. Partition streams that implement it are
+// consumed through NextBatchInto instead of NextBatch.
+//
+// NextBatchInto delivers the next at-most-max points in one of two
+// ways, its choice per call:
+//
+//   - fill dst (handed over empty) and return dst; or
+//   - return a different, ready-made batch of at most max points and
+//     keep dst — the ownership swap. A source that already holds a
+//     filled batch (ingest.Push queues whole producer batches) hands
+//     it over without copying a byte, and keeps dst in its own pool so
+//     both sides' free lists stay in equilibrium.
+//
+// Either way exactly one batch changes hands in each direction: the
+// caller owns whatever comes back (and has relinquished dst if the
+// source kept it), the source must retain no reference to the returned
+// batch or its views. On error (ErrEndOfStream, ctx.Err(), a source
+// failure) the returned batch is nil and dst remains the caller's.
+type BatchPartition interface {
+	NextBatchInto(ctx context.Context, dst *Batch, max int) (*Batch, error)
+}
+
+// PartitionIngestStats is one partition's producer-side ingest
+// counters, for backpressure observability: Queued is the number of
+// batches currently buffered ahead of the engine, BlockedNanos the
+// cumulative time producers spent blocked on a full queue (the direct
+// measure of backpressure felt), and Batches/Points count what
+// producers have successfully enqueued.
+type PartitionIngestStats struct {
+	Queued       int   `json:"queued"`
+	BlockedNanos int64 `json:"blockedNanos"`
+	Batches      int64 `json:"batches"`
+	Points       int64 `json:"points"`
+}
+
+// IngestObservable is implemented by partitioned sources that expose
+// per-partition producer-side counters (ingest.Push). IngestStats
+// appends one entry per partition to dst and returns it; counters are
+// live and may be read concurrently with ingestion.
+type IngestObservable interface {
+	IngestStats(dst []PartitionIngestStats) []PartitionIngestStats
 }
 
 // PartitionedSource produces points pre-split into independent

@@ -30,6 +30,10 @@ type StreamStats struct {
 	RunStats
 	// PerShard holds each shard worker's own statistics.
 	PerShard []RunStats
+	// Ingest holds per-partition producer-side counters (queue depth,
+	// cumulative blocked time) when the partitioned source implements
+	// IngestObservable; nil otherwise. Populated when Run returns.
+	Ingest []PartitionIngestStats
 }
 
 // StreamRunner executes a MacroBase pipeline sharded across P
@@ -71,12 +75,19 @@ type StreamStats struct {
 // returns, if ever. The legacy polled Stop callback is still honored
 // between batches.
 //
-// The partition streams' returned Point structs are copied into
-// per-shard batches during routing, but the Metrics/Attrs slices
-// inside them are shared: sources must not reuse those backing arrays
-// across NextBatch calls (SliceSource, CSVSource, and ingest.Push
-// satisfy this; wrap buffer-recycling sources with a deep-copying
-// adapter).
+// The ingest data plane is allocation-free in steady state: routing
+// scatters each point's payload into pooled per-shard Batch slabs (a
+// deep copy — no slice of a source's memory survives past the
+// partition's next read), workers consume a batch's Point views and
+// return the batch to the free list, and partitions implementing
+// BatchPartition fill engine-loaned recycled batches instead of
+// allocating their own (with a single shard such a batch is handed to
+// the worker outright, no copy at all). The deep copy is what makes
+// the recycling sound: a source may reuse its backing arrays after its
+// next NextBatch call, and downstream stages must copy anything they
+// retain past the call that delivered it — the batch under a worker's
+// feet is reused for later points once consume returns (OnBatch hooks
+// included; see Batch for the full ownership contract).
 type StreamRunner struct {
 	// Source is a legacy pull source, adapted via SourcePartitions.
 	Source Source
@@ -155,11 +166,19 @@ type shardWorker struct {
 	id    int
 	r     *StreamRunner
 	pl    ShardPipeline
-	data  chan []Point
+	data  chan *Batch
+	pool  *BatchPool    // consumed batches go back here, not to the GC
 	drain chan struct{} // closed by an abandoning Run: consume what's queued, flush, exit
 	snap  chan snapshotReq
 	done  chan struct{} // closed when the worker has drained and flushed
 	exec  pipeExec      // the shared batch kernel, one replica per shard
+}
+
+// consume runs one batch through the pipeline and recycles it. The
+// batch's views die here: nothing downstream may retain them.
+func (w *shardWorker) consume(b *Batch) {
+	w.exec.consume(b.Points())
+	w.pool.Put(b)
 }
 
 // ErrNotStreaming is returned by Snapshot outside a Run.
@@ -245,13 +264,21 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	r.liveTicks.Store(0)
 	r.quit = make(chan struct{})
 	r.workers = make([]*shardWorker, shards)
+	// One free list serves the whole run: batches circulate
+	// ingest -> shard channel -> worker -> pool -> ingest. The bound
+	// covers every batch that can be in flight at once (queued per
+	// shard, staged per partition, one being read per partition) plus
+	// slack, so steady state recycles rather than allocates while a
+	// burst cannot pin unbounded slab memory.
+	pool := NewBatchPool(shards*(depth+2) + 2*len(parts))
 	var workerWg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		w := &shardWorker{
 			id:    s,
 			r:     r,
 			pl:    r.NewShard(s),
-			data:  make(chan []Point, depth),
+			data:  make(chan *Batch, depth),
+			pool:  pool,
 			drain: make(chan struct{}),
 			snap:  make(chan snapshotReq),
 			done:  make(chan struct{}),
@@ -312,7 +339,7 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 			// while an abandoned producer may still be routing a batch
 			// it had already read, and that late send must hit a valid
 			// (if ignored) channel rather than a nil slice.
-			if err := r.ingestPartition(ctx, ps, workers, batch, partition); err != nil {
+			if err := r.ingestPartition(ctx, ps, workers, pool, batch, partition); err != nil {
 				errMu.Lock()
 				if ingestErr == nil {
 					ingestErr = fmt.Errorf("core: source: %w", err)
@@ -355,6 +382,9 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 		stats.Outliers += w.exec.stats.Outliers
 		stats.DecayTicks += w.exec.stats.DecayTicks
 	}
+	if obs, ok := r.Partitioned.(IngestObservable); ok {
+		stats.Ingest = obs.IngestStats(nil)
+	}
 	// Release any snapshot servers, mark not running, then drop the
 	// worker set: a finished run must not pin P shards' operator
 	// replicas (reservoirs, sketches, trees) for the lifetime of a
@@ -391,18 +421,31 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 
 // ingestPartition is one partition's ingest loop: poll the legacy Stop
 // callback, pull a batch (cancellable mid-call for context-aware
-// streams), route each point to its shard, and hand the per-shard
-// sub-batches over the bounded channels. Returns a non-nil error only
-// for genuine source failures; cancellation and end-of-stream return
-// nil.
-func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, workers []*shardWorker, batch int, partition func(*Point, int) int) error {
-	// Per-partition routing scratch: only the sub-batches themselves
-	// are freshly allocated (their ownership transfers to the
-	// workers); the routing tables are reused across batches.
+// streams, into an engine-loaned recycled Batch for slab-native ones),
+// scatter each point's payload into pooled per-shard batches, and hand
+// those over the bounded channels. Every batch it touches comes from
+// and returns to the run's free list, so the steady-state loop never
+// allocates. Returns a non-nil error only for genuine source failures;
+// cancellation and end-of-stream return nil.
+func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, workers []*shardWorker, pool *BatchPool, batch int, partition func(*Point, int) int) error {
 	shards := len(workers)
-	var routes []int32
-	sizes := make([]int, shards)
-	subs := make([][]Point, shards)
+	bp, native := ps.(BatchPartition)
+	var ib *Batch // the read batch for slab-native partitions
+	if native {
+		ib = pool.Get()
+	}
+	// staging[s] is the in-progress batch for shard s; entries are nil
+	// once handed to a worker and re-loaned on demand. On any exit the
+	// deferred sweep returns unsent loans to the pool (a late-arriving
+	// Abandon makes the Put a harmless no-op on a full or orphaned
+	// pool).
+	staging := make([]*Batch, shards)
+	defer func() {
+		pool.Put(ib)
+		for _, sb := range staging {
+			pool.Put(sb)
+		}
+	}()
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -411,7 +454,32 @@ func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, 
 			r.RequestStop()
 			return nil
 		}
-		pts, err := ps.NextBatch(ctx, batch)
+		var (
+			pts []Point
+			err error
+		)
+		if native {
+			ib.Reset()
+			var nb *Batch
+			nb, err = bp.NextBatchInto(ctx, ib, batch)
+			if err == nil {
+				ib = nb // ours now, whether filled-in-place or swapped
+				if shards == 1 {
+					// Single shard: the worker takes ownership of the
+					// whole recycled batch — routing degenerates to a
+					// pointer handoff, no copy at all.
+					r.livePoints.Add(int64(ib.Len()))
+					if !send(ctx, workers[0], ib) {
+						return nil // cancelled: defer recycles the undelivered ib
+					}
+					ib = pool.Get()
+					continue
+				}
+				pts = ib.Points()
+			}
+		} else {
+			pts, err = ps.NextBatch(ctx, batch)
+		}
 		if err == ErrEndOfStream {
 			return nil
 		}
@@ -425,56 +493,39 @@ func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, 
 			return nil // cancelled while a non-cancellable read was in flight
 		}
 		r.livePoints.Add(int64(len(pts)))
-		if shards == 1 {
-			// Single shard: forward the batch copy without routing.
-			sub := make([]Point, len(pts))
-			copy(sub, pts)
-			if !send(ctx, workers[0], sub) {
-				return nil
-			}
-			continue
-		}
-		// Route each point once (the hash walks the full attribute
-		// vector), recording shard indexes in a reusable scratch
-		// slice, then size and fill the sub-batches from the recorded
-		// routes.
-		if cap(routes) < len(pts) {
-			routes = make([]int32, len(pts))
-		}
-		routes = routes[:len(pts)]
-		for s := range sizes {
-			sizes[s] = 0
-		}
+		// Scatter: one pass, appending each point's payload into its
+		// shard's staged slab. The copy severs every reference to the
+		// source's memory, which is what lets the source (and ib)
+		// recycle their buffers next round.
 		for i := range pts {
-			s := partition(&pts[i], shards)
-			routes[i] = int32(s)
-			sizes[s]++
-		}
-		for s := range subs {
-			subs[s] = nil
-			if sizes[s] > 0 {
-				subs[s] = make([]Point, 0, sizes[s])
+			s := 0
+			if shards > 1 {
+				s = partition(&pts[i], shards)
 			}
+			sb := staging[s]
+			if sb == nil {
+				sb = pool.Get()
+				staging[s] = sb
+			}
+			sb.AppendPoint(&pts[i])
 		}
-		for i := range pts {
-			s := routes[i]
-			subs[s] = append(subs[s], pts[i])
-		}
-		for s, sub := range subs {
-			if len(sub) > 0 {
-				if !send(ctx, workers[s], sub) {
-					return nil
+		for s, sb := range staging {
+			if sb != nil && sb.Len() > 0 {
+				if !send(ctx, workers[s], sb) {
+					return nil // cancelled: defer recycles the undelivered loans
 				}
+				staging[s] = nil
 			}
 		}
 	}
 }
 
-// send delivers one sub-batch to a shard, or reports false if the run
-// was cancelled while blocked on the shard's backpressure.
-func send(ctx context.Context, w *shardWorker, sub []Point) bool {
+// send delivers one batch to a shard, or reports false if the run was
+// cancelled while blocked on the shard's backpressure. Ownership of
+// the batch transfers only on a true return.
+func send(ctx context.Context, w *shardWorker, b *Batch) bool {
 	select {
-	case w.data <- sub:
+	case w.data <- b:
 		return true
 	case <-ctx.Done():
 		return false
@@ -582,18 +633,18 @@ func (w *shardWorker) run(wg *sync.WaitGroup) {
 	}
 	for {
 		select {
-		case pts, ok := <-w.data:
+		case b, ok := <-w.data:
 			if !ok {
 				finish()
 				return
 			}
-			w.exec.consume(pts)
+			w.consume(b)
 		case <-w.drain:
 			for {
 				select {
-				case pts, ok := <-w.data:
+				case b, ok := <-w.data:
 					if ok {
-						w.exec.consume(pts)
+						w.consume(b)
 						continue
 					}
 				default:

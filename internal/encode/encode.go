@@ -20,6 +20,12 @@ type Encoder struct {
 	byKey   map[key]int32
 	columns []string
 	keys    []key
+	// byVal indexes ids per column with plain string-keyed maps so
+	// EncodeBytes can look a []byte value up without materializing a
+	// string: the compiler elides the string conversion in a direct
+	// map[string]T index expression, which it cannot do for the
+	// struct-keyed byKey map. Grown lazily by intern.
+	byVal []map[string]int32
 }
 
 type key struct {
@@ -64,7 +70,33 @@ func (e *Encoder) intern(k key) int32 {
 	id := int32(len(e.keys))
 	e.byKey[k] = id
 	e.keys = append(e.keys, k)
+	if k.col >= 0 {
+		for len(e.byVal) <= k.col {
+			e.byVal = append(e.byVal, nil)
+		}
+		if e.byVal[k.col] == nil {
+			e.byVal[k.col] = make(map[string]int32)
+		}
+		e.byVal[k.col][k.val] = id
+	}
 	return id
+}
+
+// EncodeBytes is Encode for a value still in []byte form (a binary
+// wire decoder's scratch): the already-interned fast path performs a
+// direct map lookup without allocating a string, so steady-state
+// binary ingest never touches the allocator; only genuinely new values
+// pay for the string copy and the write lock.
+func (e *Encoder) EncodeBytes(col int, value []byte) int32 {
+	e.mu.RLock()
+	if col >= 0 && col < len(e.byVal) {
+		if id, ok := e.byVal[col][string(value)]; ok {
+			e.mu.RUnlock()
+			return id
+		}
+	}
+	e.mu.RUnlock()
+	return e.intern(key{col, string(value)})
 }
 
 // EncodeAll encodes one value per configured column, in order.

@@ -1,0 +1,213 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"macrobase/internal/core"
+	"macrobase/internal/encode"
+)
+
+var binSchema = Schema{Metrics: []string{"power", "latency"}, Attributes: []string{"device", "version"}, TimeColumn: "t"}
+
+// binStream builds a binary buffer of n deterministic rows.
+func binStream(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryRowWriter(&buf)
+	for i := 0; i < n; i++ {
+		err := w.WriteRow(
+			[]float64{float64(i), float64(i) / 2},
+			[]string{fmt.Sprintf("d%d", i%13), fmt.Sprintf("v%d", i%3)},
+			float64(i)+0.25,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryRowsRoundTrip: write rows, read them back, and verify
+// values and attribute decoding bit-for-bit.
+func TestBinaryRowsRoundTrip(t *testing.T) {
+	const n = 500
+	data := binStream(t, n)
+	enc := encode.NewEncoder("device", "version")
+	d := NewBinaryRowReader(bytes.NewReader(data), binSchema, enc)
+	b := &core.Batch{}
+	total := 0
+	for {
+		got, err := d.ReadInto(b, 64)
+		total += got
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != n || b.Len() != n {
+		t.Fatalf("decoded %d rows (batch %d), want %d", total, b.Len(), n)
+	}
+	pts := b.Points()
+	for i := 0; i < n; i++ {
+		p := &pts[i]
+		if p.Metrics[0] != float64(i) || p.Metrics[1] != float64(i)/2 || p.Time != float64(i)+0.25 {
+			t.Fatalf("row %d values: %+v", i, p)
+		}
+		if enc.Decode(p.Attrs[0]).Value != fmt.Sprintf("d%d", i%13) ||
+			enc.Decode(p.Attrs[1]).Value != fmt.Sprintf("v%d", i%3) {
+			t.Fatalf("row %d attrs decode wrong: %v %v", i, enc.Decode(p.Attrs[0]), enc.Decode(p.Attrs[1]))
+		}
+	}
+}
+
+// TestBinaryRowsErrors: bad magic, truncation, schema arity mismatch,
+// trailing garbage in a row body, and oversized length prefixes all
+// fail with latched, row-numbered errors.
+func TestBinaryRowsErrors(t *testing.T) {
+	enc := encode.NewEncoder("device", "version")
+	fresh := func(data []byte) (*BinaryRowReader, *core.Batch) {
+		return NewBinaryRowReader(bytes.NewReader(data), binSchema, enc), &core.Batch{}
+	}
+
+	// An entirely empty stream is zero rows, not an error (an empty
+	// eof-only push request is legal).
+	d, b := fresh(nil)
+	if n, err := d.ReadInto(b, 10); n != 0 || err != io.EOF {
+		t.Fatalf("empty stream: (%d, %v), want (0, EOF)", n, err)
+	}
+
+	// A partial magic is a truncation error.
+	d, b = fresh([]byte("MB"))
+	if _, err := d.ReadInto(b, 10); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("partial magic: %v", err)
+	}
+
+	// Bad magic.
+	d, b = fresh([]byte("NOPE----"))
+	if _, err := d.ReadInto(b, 10); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Error latched.
+	if _, err := d.ReadInto(b, 10); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("error not latched: %v", err)
+	}
+
+	// Truncated body.
+	data := binStream(t, 3)
+	d, b = fresh(data[:len(data)-4])
+	if _, err := d.ReadInto(b, 10); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncation: %v", err)
+	}
+
+	// Arity mismatch: encode under a 1-metric schema, decode under the
+	// 2-metric one.
+	var buf bytes.Buffer
+	w := NewBinaryRowWriter(&buf)
+	if err := w.WriteRow([]float64{1}, []string{"a", "b"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, b = fresh(buf.Bytes())
+	if _, err := d.ReadInto(b, 10); err == nil || !strings.Contains(err.Error(), "metrics, want") {
+		t.Fatalf("metric arity: %v", err)
+	}
+
+	// Attribute arity mismatch.
+	buf.Reset()
+	w = NewBinaryRowWriter(&buf)
+	if err := w.WriteRow([]float64{1, 2}, []string{"only-one"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, b = fresh(buf.Bytes())
+	if _, err := d.ReadInto(b, 10); err == nil || !strings.Contains(err.Error(), "attributes, want") {
+		t.Fatalf("attr arity: %v", err)
+	}
+
+	// Hostile length prefix.
+	hostile := append([]byte(BinaryMagic), 0xff, 0xff, 0xff, 0xff, 0x7f)
+	d, b = fresh(hostile)
+	if _, err := d.ReadInto(b, 10); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("length cap: %v", err)
+	}
+
+	// Trailing bytes inside a declared row body.
+	good := binStream(t, 1)
+	bad := append([]byte{}, good...)
+	bad[len(BinaryMagic)]++ // inflate the first row's declared length by 1
+	bad = append(bad, 0x00) // and supply the extra byte
+	d, b = fresh(bad)
+	if _, err := d.ReadInto(b, 10); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+
+	// Partial reads respect max and resume.
+	d, b = fresh(binStream(t, 10))
+	if n, err := d.ReadInto(b, 4); n != 4 || err != nil {
+		t.Fatalf("partial read: (%d, %v)", n, err)
+	}
+	if n, err := d.ReadInto(b, 100); n != 6 || err != io.EOF {
+		t.Fatalf("resume read: (%d, %v), want (6, EOF)", n, err)
+	}
+}
+
+// TestBinaryRowsZeroTime: WriteRowTimed can flag a meaningful zero
+// time; WriteRow omits the time field for zero (compactness) and the
+// reader yields 0 either way.
+func TestBinaryRowsZeroTime(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryRowWriter(&buf)
+	if err := w.WriteRowTimed([]float64{1, 2}, []string{"a", "b"}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow([]float64{3, 4}, []string{"a", "b"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	timed := buf.Len()
+	enc := encode.NewEncoder("device", "version")
+	d := NewBinaryRowReader(bytes.NewReader(buf.Bytes()), binSchema, enc)
+	b := &core.Batch{}
+	if _, err := d.ReadInto(b, 10); err != io.EOF {
+		t.Fatal(err)
+	}
+	pts := b.Points()
+	if len(pts) != 2 || pts[0].Time != 0 || pts[1].Time != 0 {
+		t.Fatalf("times: %+v", pts)
+	}
+	_ = timed
+}
+
+// TestBinaryRowsDecodeAllocFree pins the binary decode path's
+// steady-state allocation bound: with a warm encoder, a pooled reader,
+// and a recycled batch, decoding 1024 rows costs zero allocations.
+func TestBinaryRowsDecodeAllocFree(t *testing.T) {
+	data := binStream(t, 1024)
+	enc := encode.NewEncoder("device", "version")
+	rd := bytes.NewReader(data)
+	d := NewBinaryRowReader(rd, binSchema, enc)
+	b := &core.Batch{}
+	decode := func() {
+		rd.Reset(data)
+		d.Reset(rd)
+		b.Reset()
+		for {
+			if _, err := d.ReadInto(b, 4096); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if b.Len() != 1024 {
+			t.Fatal("short decode")
+		}
+	}
+	decode() // warm: intern attrs, grow scratch and slabs
+	allocs := testing.AllocsPerRun(50, decode)
+	if allocs != 0 {
+		t.Fatalf("steady-state binary decode: %v allocs per 1024-row batch, want 0", allocs)
+	}
+}

@@ -41,6 +41,9 @@ type CSVSource struct {
 	line    int
 	err     error
 	buf     []core.Point
+	// Per-row parse scratch for NextInto, reused across calls.
+	mbuf []float64
+	abuf []int32
 }
 
 // NewCSVSource prepares a source reading from r. The first record must
@@ -85,6 +88,33 @@ func NewCSVSource(r io.Reader, schema Schema, enc *encode.Encoder) (*CSVSource, 
 // Encoder returns the encoder used for attribute values.
 func (s *CSVSource) Encoder() *encode.Encoder { return s.enc }
 
+// parseRow parses one CSV record into the provided metric/attribute
+// buffers (len(s.metIdx) and len(s.attrIdx) slots) and returns the
+// event time. Shared by the legacy allocating path (Next) and the
+// parse-in-place path (NextInto) so the two cannot drift. The caller
+// has already advanced s.line; errors are row-numbered but not
+// latched — the caller latches.
+func (s *CSVSource) parseRow(rec []string, metrics []float64, attrs []int32) (float64, error) {
+	for j, idx := range s.metIdx {
+		v, err := strconv.ParseFloat(rec[idx], 64)
+		if err != nil {
+			return 0, fmt.Errorf("ingest: row %d: metric %q: %w", s.line, s.schema.Metrics[j], err)
+		}
+		metrics[j] = v
+	}
+	for j, idx := range s.attrIdx {
+		attrs[j] = s.enc.Encode(j, rec[idx])
+	}
+	if s.timeIdx < 0 {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(rec[s.timeIdx], 64)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: row %d: time: %w", s.line, err)
+	}
+	return v, nil
+}
+
 // Next implements core.Source. Rows with unparsable metrics are
 // reported as errors, not skipped: silent data loss hides exactly the
 // anomalies MacroBase exists to find.
@@ -110,24 +140,9 @@ func (s *CSVSource) Next(max int) ([]core.Point, error) {
 			Metrics: make([]float64, len(s.metIdx)),
 			Attrs:   make([]int32, len(s.attrIdx)),
 		}
-		for j, idx := range s.metIdx {
-			v, err := strconv.ParseFloat(rec[idx], 64)
-			if err != nil {
-				s.err = fmt.Errorf("ingest: row %d: metric %q: %w", s.line, s.schema.Metrics[j], err)
-				return nil, s.err
-			}
-			p.Metrics[j] = v
-		}
-		for j, idx := range s.attrIdx {
-			p.Attrs[j] = s.enc.Encode(j, rec[idx])
-		}
-		if s.timeIdx >= 0 {
-			v, err := strconv.ParseFloat(rec[s.timeIdx], 64)
-			if err != nil {
-				s.err = fmt.Errorf("ingest: row %d: time: %w", s.line, err)
-				return nil, s.err
-			}
-			p.Time = v
+		if p.Time, err = s.parseRow(rec, p.Metrics, p.Attrs); err != nil {
+			s.err = err
+			return nil, s.err
 		}
 		out = append(out, p)
 	}
@@ -136,6 +151,51 @@ func (s *CSVSource) Next(max int) ([]core.Point, error) {
 		return nil, core.ErrEndOfStream
 	}
 	return out, nil
+}
+
+// NextInto parses up to max rows directly into b's recycled slabs —
+// the allocation-free form of Next used by the batch-native streaming
+// engine (csvPartition implements core.BatchPartition with it). Parsed
+// rows are appended to b; per-row cost is the csv.Reader's own record
+// handling (one internal string allocation per record, the only
+// allocator touch on this path) plus ParseFloat and interned attribute
+// lookups. Returns core.ErrEndOfStream when no rows remain, with the
+// same error latching and row-numbered diagnostics as Next.
+func (s *CSVSource) NextInto(b *core.Batch, max int) error {
+	if s.err != nil {
+		return s.err
+	}
+	if cap(s.mbuf) < len(s.metIdx) {
+		s.mbuf = make([]float64, len(s.metIdx))
+	}
+	if cap(s.abuf) < len(s.attrIdx) {
+		s.abuf = make([]int32, len(s.attrIdx))
+	}
+	mbuf := s.mbuf[:len(s.metIdx)]
+	abuf := s.abuf[:len(s.attrIdx)]
+	n := 0
+	for n < max {
+		rec, err := s.r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.err = fmt.Errorf("ingest: %w", err)
+			return s.err
+		}
+		s.line++
+		t, err := s.parseRow(rec, mbuf, abuf)
+		if err != nil {
+			s.err = err
+			return s.err
+		}
+		b.Append(mbuf, abuf, t)
+		n++
+	}
+	if n == 0 {
+		return core.ErrEndOfStream
+	}
+	return nil
 }
 
 // WriteCSV emits points as CSV with a header, decoding attributes

@@ -41,6 +41,19 @@ func (p *csvPartition) NextBatch(ctx context.Context, max int) ([]core.Point, er
 	return p.src.Next(max)
 }
 
+// NextBatchInto implements core.BatchPartition: rows are parsed in
+// place into the engine-loaned recycled batch, so steady-state CSV
+// ingest allocates only the csv.Reader's per-record internals.
+func (p *csvPartition) NextBatchInto(ctx context.Context, dst *core.Batch, max int) (*core.Batch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.src.NextInto(dst, max); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // NewPartitionedCSV builds a partitioned source over readers, one
 // partition each. Every reader must start with a header row naming the
 // schema columns (the usual per-file layout). enc is shared across
@@ -115,3 +128,4 @@ func (p *PartitionedCSV) Close() error {
 
 var _ core.PartitionedSource = (*PartitionedCSV)(nil)
 var _ core.PartitionedSource = (*Push)(nil)
+var _ core.BatchPartition = (*csvPartition)(nil)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"macrobase/internal/core"
 )
@@ -16,15 +18,30 @@ var ErrProducerClosed = errors.New("ingest: push producer is closed")
 // producers, each owning one partition, hand point batches to the
 // streaming engine through bounded channels. It is the programmatic
 // ingest backend for "fast data" that is generated in-process or
-// arrives over a network surface (mbserver's /stream/{id}/push NDJSON
+// arrives over a network surface (mbserver's /stream/{id}/push
 // endpoint feeds a resident session through one of these).
+//
+// The data plane is recycled end-to-end: batches are core.Batch slabs
+// drawn from the source's free list. Producers that care about
+// allocation rates use the buffer loan API — GetBatch hands out an
+// empty recycled batch, the producer fills its slabs, SendBatch
+// transfers ownership to the stream — and the engine returns consumed
+// batches to the same free list through the BatchPartition ownership
+// swap, so a steady-state producer->engine round trip allocates
+// nothing. The legacy Send([]Point) API rides the same machinery by
+// wrapping the points in a borrowed batch (core.Batch.Borrow) — no
+// producer-side copy; ownership of pts and its interior slices
+// transfers to the stream, exactly as before.
 //
 // Backpressure, not buffering, absorbs bursts: a partition holds at
 // most QueueDepth in-flight batches, and Send blocks (or fails on its
 // context) once the pipeline falls behind — the producer-side
 // equivalent of the engine's bounded shard channels, so an overwhelmed
 // consumer is visible at the producer instead of hidden by an
-// unbounded queue.
+// unbounded queue. The blocking is metered: IngestStats exposes each
+// partition's live queue depth and the cumulative nanoseconds its
+// producers have spent blocked on a full queue, so backpressure is
+// observable before clients time out.
 //
 // Lifecycle: each producer is closed independently; a partition
 // signals end-of-stream once it is closed and fully drained, and the
@@ -34,16 +51,32 @@ var ErrProducerClosed = errors.New("ingest: push producer is closed")
 // they pass a bounded context (use one).
 type Push struct {
 	parts []*pushPartition
+	pool  *core.BatchPool
 }
 
 // pushPartition is one partition's channel plus its close signal. The
 // data channel is never closed (closing would race concurrent Sends);
 // end-of-stream is the closed channel plus an empty queue.
 type pushPartition struct {
-	ch        chan []core.Point
+	ch        chan *core.Batch
 	closed    chan struct{}
 	closeOnce sync.Once // lives on the partition: producer handles are cheap copies
-	leftover  []core.Point
+	pool      *core.BatchPool
+
+	// Consumer-side split state (one consumer per partition): a queued
+	// batch larger than the engine's max is served in max-sized copies
+	// out of cur until exhausted, then recycled.
+	cur *core.Batch
+	off int
+	// legacy holds the batch whose views the last NextBatch returned;
+	// it is recycled at the next NextBatch call, which is what bounds
+	// the legacy contract's "valid until the next call".
+	legacy *core.Batch
+
+	// Producer-side counters (see core.PartitionIngestStats).
+	blockedNanos atomic.Int64
+	batches      atomic.Int64
+	points       atomic.Int64
 }
 
 // NewPush returns a push source with partitions independent producer
@@ -56,11 +89,17 @@ func NewPush(partitions, queueDepth int) *Push {
 	if queueDepth <= 0 {
 		queueDepth = 4
 	}
-	p := &Push{parts: make([]*pushPartition, partitions)}
+	p := &Push{
+		parts: make([]*pushPartition, partitions),
+		// Free-list bound: every partition can have a full queue plus
+		// one batch being filled and one being consumed.
+		pool: core.NewBatchPool(partitions * (queueDepth + 2)),
+	}
 	for i := range p.parts {
 		p.parts[i] = &pushPartition{
-			ch:     make(chan []core.Point, queueDepth),
+			ch:     make(chan *core.Batch, queueDepth),
 			closed: make(chan struct{}),
+			pool:   p.pool,
 		}
 	}
 	return p
@@ -95,23 +134,43 @@ func (p *Push) CloseAll() {
 	}
 }
 
-// NextBatch implements core.PartitionStream. Batches are handed out in
-// Send order, split when one exceeds max; after close, whatever is
-// already queued is drained before ErrEndOfStream.
-func (pp *pushPartition) NextBatch(ctx context.Context, max int) ([]core.Point, error) {
-	if len(pp.leftover) > 0 {
-		return pp.serve(pp.leftover, max), nil
+// IngestStats implements core.IngestObservable: one live entry per
+// partition, appended to dst. Queued is the number of batches buffered
+// ahead of the engine right now; BlockedNanos accumulates the time
+// producers spent blocked on a full queue; Batches/Points count what
+// has been successfully enqueued. Safe to call concurrently with
+// producers and the consuming engine.
+func (p *Push) IngestStats(dst []core.PartitionIngestStats) []core.PartitionIngestStats {
+	for _, pp := range p.parts {
+		dst = append(dst, core.PartitionIngestStats{
+			Queued:       len(pp.ch),
+			BlockedNanos: pp.blockedNanos.Load(),
+			Batches:      pp.batches.Load(),
+			Points:       pp.points.Load(),
+		})
+	}
+	return dst
+}
+
+// NextBatchInto implements core.BatchPartition. A queued batch no
+// larger than max is handed to the engine whole, with dst kept in the
+// source's pool in exchange (the zero-copy ownership swap); an
+// oversized batch is served in max-sized copies. After close, whatever
+// is already queued is drained before ErrEndOfStream.
+func (pp *pushPartition) NextBatchInto(ctx context.Context, dst *core.Batch, max int) (*core.Batch, error) {
+	if pp.cur != nil {
+		return pp.serveSplit(dst, max), nil
 	}
 	select {
-	case pts := <-pp.ch:
-		return pp.serve(pts, max), nil
+	case b := <-pp.ch:
+		return pp.take(b, dst, max), nil
 	case <-pp.closed:
 		// Close raced queued data: drain before signaling the end. A
 		// Send that loses the race and buffers after this drain sees
 		// its batch dropped, which the Send contract documents.
 		select {
-		case pts := <-pp.ch:
-			return pp.serve(pts, max), nil
+		case b := <-pp.ch:
+			return pp.take(b, dst, max), nil
 		default:
 			return nil, core.ErrEndOfStream
 		}
@@ -120,14 +179,50 @@ func (pp *pushPartition) NextBatch(ctx context.Context, max int) ([]core.Point, 
 	}
 }
 
-// serve hands out at most max points from pts, stashing the rest.
-func (pp *pushPartition) serve(pts []core.Point, max int) []core.Point {
-	if len(pts) <= max {
-		pp.leftover = nil
-		return pts
+// take hands a dequeued batch to the engine: whole (swapping dst into
+// the pool) when it fits max, split otherwise.
+func (pp *pushPartition) take(b *core.Batch, dst *core.Batch, max int) *core.Batch {
+	if b.Len() <= max {
+		pp.pool.Put(dst)
+		return b
 	}
-	pp.leftover = pts[max:]
-	return pts[:max]
+	pp.cur, pp.off = b, 0
+	return pp.serveSplit(dst, max)
+}
+
+// serveSplit copies the next at-most-max points of cur into dst,
+// recycling cur once exhausted.
+func (pp *pushPartition) serveSplit(dst *core.Batch, max int) *core.Batch {
+	pts := pp.cur.Points()
+	end := pp.off + max
+	if end > len(pts) {
+		end = len(pts)
+	}
+	dst.AppendPoints(pts[pp.off:end])
+	pp.off = end
+	if pp.off >= len(pts) {
+		pp.pool.Put(pp.cur)
+		pp.cur, pp.off = nil, 0
+	}
+	return dst
+}
+
+// NextBatch implements core.PartitionStream for consumers that want
+// plain point views. The views (and their backing slabs) are valid
+// only until the next NextBatch call on this partition, which recycles
+// them — the PartitionStream reuse contract.
+func (pp *pushPartition) NextBatch(ctx context.Context, max int) ([]core.Point, error) {
+	if pp.legacy == nil {
+		pp.legacy = pp.pool.Get()
+	} else {
+		pp.legacy.Reset()
+	}
+	nb, err := pp.NextBatchInto(ctx, pp.legacy, max)
+	if err != nil {
+		return nil, err
+	}
+	pp.legacy = nb
+	return nb.Points(), nil
 }
 
 // PushProducer feeds one partition. The zero value is not usable;
@@ -136,32 +231,47 @@ type PushProducer struct {
 	part *pushPartition
 }
 
-// Send queues one batch of points, blocking while the partition's
-// queue is full (backpressure). The engine takes ownership of pts and
-// of the Metrics/Attrs slices inside: the caller must not mutate them
-// after Send returns (re-sending the same immutable batch is fine).
-// Returns ErrProducerClosed after Close, and ctx.Err() if the context
-// expires while blocked. A Send racing Close may occasionally win the
-// queue slot; such a batch is delivered if the consumer has not yet
-// observed end-of-stream and silently dropped otherwise — close the
-// producer only once its sends have returned for exact accounting.
+// GetBatch loans an empty recycled batch for the producer to fill and
+// SendBatch. Pair every GetBatch with exactly one SendBatch or
+// PutBatch.
+func (pr *PushProducer) GetBatch() *core.Batch { return pr.part.pool.Get() }
+
+// PutBatch returns an unused loan to the free list (e.g. after a
+// decode error aborted filling it). The caller must not touch b again.
+func (pr *PushProducer) PutBatch(b *core.Batch) { pr.part.pool.Put(b) }
+
+// SendBatch queues one loaned batch, blocking while the partition's
+// queue is full (backpressure). Ownership of b always transfers —
+// delivered, recycled, or dropped — so the caller must not touch it
+// after the call regardless of the result. Returns ErrProducerClosed
+// after Close, and ctx.Err() if the context expires while blocked; in
+// both failure cases the batch was not delivered. A SendBatch racing
+// Close may occasionally win the queue slot; such a batch is delivered
+// if the consumer has not yet observed end-of-stream and silently
+// dropped otherwise — close the producer only once its sends have
+// returned for exact accounting.
+func (pr *PushProducer) SendBatch(ctx context.Context, b *core.Batch) error {
+	if b == nil || b.Len() == 0 {
+		pr.part.pool.Put(b)
+		return nil
+	}
+	return pr.part.send(ctx, b)
+}
+
+// Send queues one batch of points, wrapped zero-copy in a borrowed
+// recycled batch. The stream takes ownership of pts and of the
+// Metrics/Attrs slices inside: the caller must not mutate them after
+// Send returns (re-sending the same immutable batch is fine — the
+// engine's routing deep-copy is what ends the sharing, before the
+// partition's next read). Blocking, error, and close semantics match
+// SendBatch.
 func (pr *PushProducer) Send(ctx context.Context, pts []core.Point) error {
 	if len(pts) == 0 {
 		return nil
 	}
-	select {
-	case <-pr.part.closed:
-		return ErrProducerClosed
-	default:
-	}
-	select {
-	case pr.part.ch <- pts:
-		return nil
-	case <-pr.part.closed:
-		return ErrProducerClosed
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	b := pr.part.pool.Get()
+	b.Borrow(pts)
+	return pr.part.send(ctx, b)
 }
 
 // SendPoint is Send for a single point, for producers without natural
@@ -171,6 +281,43 @@ func (pr *PushProducer) SendPoint(ctx context.Context, pt core.Point) error {
 	return pr.Send(ctx, []core.Point{pt})
 }
 
+// send enqueues b, metering the time spent blocked on a full queue.
+// The point count is read before the channel send: after a successful
+// send the consumer owns b and may already be resetting it.
+func (pp *pushPartition) send(ctx context.Context, b *core.Batch) error {
+	select {
+	case <-pp.closed:
+		pp.pool.Put(b)
+		return ErrProducerClosed
+	default:
+	}
+	n := int64(b.Len())
+	select {
+	case pp.ch <- b:
+		pp.batches.Add(1)
+		pp.points.Add(n)
+		return nil
+	default:
+	}
+	// Queue full: block, and meter how long (the backpressure signal).
+	start := time.Now()
+	select {
+	case pp.ch <- b:
+		pp.blockedNanos.Add(time.Since(start).Nanoseconds())
+		pp.batches.Add(1)
+		pp.points.Add(n)
+		return nil
+	case <-pp.closed:
+		pp.blockedNanos.Add(time.Since(start).Nanoseconds())
+		pp.pool.Put(b)
+		return ErrProducerClosed
+	case <-ctx.Done():
+		pp.blockedNanos.Add(time.Since(start).Nanoseconds())
+		pp.pool.Put(b)
+		return ctx.Err()
+	}
+}
+
 // Close marks the partition finished: queued batches still drain, then
 // the partition reports end-of-stream. Idempotent across every handle
 // to the same partition; Sends observing the close fail with
@@ -178,3 +325,6 @@ func (pr *PushProducer) SendPoint(ctx context.Context, pt core.Point) error {
 func (pr *PushProducer) Close() {
 	pr.part.closeOnce.Do(func() { close(pr.part.closed) })
 }
+
+var _ core.BatchPartition = (*pushPartition)(nil)
+var _ core.IngestObservable = (*Push)(nil)

@@ -49,7 +49,15 @@ func TestPushDeliversInOrderAndSplits(t *testing.T) {
 		if len(pts) > 64 {
 			t.Fatalf("NextBatch returned %d points, max 64", len(pts))
 		}
-		got = append(got, pts...)
+		// The views are recycled at the next NextBatch call (the
+		// PartitionStream reuse contract), so retention means copying.
+		for i := range pts {
+			got = append(got, core.Point{
+				Metrics: append([]float64(nil), pts[i].Metrics...),
+				Attrs:   append([]int32(nil), pts[i].Attrs...),
+				Time:    pts[i].Time,
+			})
+		}
 	}
 	if len(got) != 500 {
 		t.Fatalf("received %d points, want 500", len(got))
