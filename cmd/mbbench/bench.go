@@ -5,7 +5,7 @@ package main
 // through testing.Benchmark, embeds ns/op + allocs/op in the -json
 // report, and -compare fails the process (exit 1) when any kernel
 // inflates more than 2x in ns/op or allocs/op against a committed
-// baseline report (BENCH_PR5.json). CI runs the comparator on every
+// baseline report (BENCH_PR6.json). CI runs the comparator on every
 // push, so a hot path can only regress past 2x by committing a new
 // baseline.
 
@@ -201,6 +201,51 @@ func microBenchmarks() []benchResult {
 			// Closing every producer ends the stream naturally; Stop
 			// then just waits for the drain — part of the measured
 			// ingest cost.
+			if _, err := sess.Stop(); err != nil {
+				panic(err)
+			}
+			b.StopTimer()
+		}),
+		runKernel("Coordinate/p3s4", func(b *testing.B) {
+			// Coordination-overhead kernel: the PushIngest workload
+			// with an aggressive CoordinateEvery (a threshold round
+			// every 4 batches of stream progress, ~6x the default
+			// rate), so the collect/merge/apply round-trip cost shows
+			// up in ns/op instead of amortizing to noise. Compare
+			// against PushIngest/p3s4 (default cadence) for the
+			// per-batch cost of coordination itself.
+			d := gen.Devices(gen.DeviceConfig{Points: 64_512, Devices: 400, Seed: 42})
+			const batchPts = 1024
+			var batches [][]core.Point
+			for off := 0; off+batchPts <= len(d.Points); off += batchPts {
+				batches = append(batches, d.Points[off:off+batchPts])
+			}
+			const producers = 3
+			src := ingest.NewPush(producers, 4)
+			sess, err := pipeline.StartPartitionedStream(src, pipeline.Config{
+				Dims: 1, MinSupport: 0.005, DecayEveryPoints: 100_000,
+				CoordinateEvery: 4096, Seed: 7,
+			}, 4)
+			if err != nil {
+				panic(err)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					pr := src.Producer(p)
+					ctx := context.Background()
+					for i := p; i < b.N; i += producers {
+						if err := pr.Send(ctx, batches[i%len(batches)]); err != nil {
+							return
+						}
+					}
+					pr.Close()
+				}(p)
+			}
+			wg.Wait()
 			if _, err := sess.Stop(); err != nil {
 				panic(err)
 			}

@@ -185,15 +185,17 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 // pipelineConfig maps the wire config onto pipeline parameters.
 func pipelineConfig(cfg *ingest.QueryConfig) pipeline.Config {
 	return pipeline.Config{
-		Dims:             len(cfg.Metrics),
-		Percentile:       cfg.Percentile,
-		MinSupport:       cfg.MinSupport,
-		MinRiskRatio:     cfg.MinRiskRatio,
-		DecayRate:        cfg.DecayRate,
-		DecayEveryPoints: cfg.DecayEveryPoints,
-		ReservoirSize:    cfg.ReservoirSize,
-		Confidence:       cfg.Confidence,
-		Seed:             cfg.Seed,
+		Dims:                   len(cfg.Metrics),
+		Percentile:             cfg.Percentile,
+		MinSupport:             cfg.MinSupport,
+		MinRiskRatio:           cfg.MinRiskRatio,
+		DecayRate:              cfg.DecayRate,
+		DecayEveryPoints:       cfg.DecayEveryPoints,
+		ReservoirSize:          cfg.ReservoirSize,
+		Confidence:             cfg.Confidence,
+		CoordinateEvery:        cfg.CoordinateEvery,
+		DisableGlobalThreshold: cfg.DisableGlobalThreshold,
+		Seed:                   cfg.Seed,
 	}
 }
 
@@ -637,9 +639,13 @@ type streamResponse struct {
 	// Ingest, for push sessions, reports live per-partition
 	// producer-side counters: queue depth and cumulative blocked time
 	// (backpressure felt by producers) plus accepted batch/point
-	// totals.
+	// totals and windowed per-second rates.
 	Ingest       []core.PartitionIngestStats `json:"ingest,omitempty"`
 	Explanations []explanationJSON           `json:"explanations"`
+	// Shards is the skew breakdown: per-shard load, outlier rate, and
+	// threshold state, the hot-shard imbalance metric, and the
+	// coordination view (rounds completed, last global cutoff).
+	Shards *pipeline.ShardBreakdown `json:"shards,omitempty"`
 }
 
 func (g *streamRegistry) handlePoll(w http.ResponseWriter, r *http.Request) {
@@ -705,7 +711,25 @@ func writeStreamResponse(w http.ResponseWriter, id string, st *streamState, res 
 		resp.Ingest = st.push.IngestStats(nil)
 	}
 	resp.Explanations = explanationsJSON(exps)
+	resp.Shards = shardsJSON(res.Shards)
 	writeJSON(w, resp)
+}
+
+// shardsJSON sanitizes the shard breakdown for JSON: thresholds can be
+// +Inf (warmup) or NaN (custom classifier), and the global cutoff is
+// NaN before the first coordination round; encoding/json rejects both.
+func shardsJSON(b *pipeline.ShardBreakdown) *pipeline.ShardBreakdown {
+	if b == nil {
+		return nil
+	}
+	out := *b
+	out.GlobalCutoff = jsonSafe(out.GlobalCutoff)
+	out.PerShard = make([]pipeline.ShardStatus, len(b.PerShard))
+	for i, s := range b.PerShard {
+		s.Threshold = jsonSafe(s.Threshold)
+		out.PerShard[i] = s
+	}
+	return &out
 }
 
 // jsonSafe maps the +Inf risk ratio of combinations absent from the

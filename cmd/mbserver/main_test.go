@@ -202,6 +202,21 @@ func TestStreamEndpointsLifecycle(t *testing.T) {
 	if !found {
 		t.Errorf("anomalous device not in final report: %+v", final.Explanations)
 	}
+	// The skew breakdown rides along: one status per shard, per-shard
+	// points summing to the stream total, and the imbalance metric.
+	if final.Shards == nil || len(final.Shards.PerShard) != 2 {
+		t.Fatalf("shards block: %+v", final.Shards)
+	}
+	sum := 0
+	for _, s := range final.Shards.PerShard {
+		sum += s.Points
+	}
+	if sum != final.Points {
+		t.Errorf("per-shard points sum %d, want %d", sum, final.Points)
+	}
+	if final.Shards.Imbalance < 1 {
+		t.Errorf("imbalance %v < 1", final.Shards.Imbalance)
+	}
 	// The session is reaped: further polls and stops 404.
 	if code := getJSON(t, srv.URL+"/stream/"+id, nil); code != http.StatusNotFound {
 		t.Errorf("poll after stop status %d, want 404", code)
@@ -508,7 +523,9 @@ func TestStreamPushBinaryMatchesNDJSON(t *testing.T) {
 	srv := httptest.NewServer(newMux(newStreamRegistry()))
 	defer srv.Close()
 	recs := pushTestRecords(10_000)
-	cfg := `{"input":"push","metrics":["power"],"attributes":["device","version"],"minSupport":0.05,"decayEveryPoints":4000,"shards":2,"partitions":1}`
+	// Coordination off: this is a bit-exactness comparison between two
+	// runs, and coordination rounds fire asynchronously.
+	cfg := `{"input":"push","metrics":["power"],"attributes":["device","version"],"minSupport":0.05,"decayEveryPoints":4000,"shards":2,"partitions":1,"disableGlobalThreshold":true}`
 	const chunk = 2500
 
 	run := func(binary bool) streamResponse {

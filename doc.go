@@ -34,17 +34,67 @@
 // alone when points carry device and version) still span shards, and
 // their merged counts are exact only up to the summed sketch error
 // bounds, which is what the mergeable-summaries property guarantees.
-// Additionally, each shard trains its classifier and adapts its
-// percentile threshold on only its partition of the metric
-// distribution, so score cutoffs can drift apart across shards, and
-// per-shard decay clocks tick on shard-local point counts rather than
-// the global count. Pick shard
+// Additionally, each shard trains its classifier on only its partition
+// of the metric distribution, and per-shard decay clocks tick on
+// shard-local point counts rather than the global count. Score cutoffs,
+// which used to drift apart across shards the same way, are reconciled
+// by periodic global threshold coordination (see the next section);
+// with coordination disabled they revert to shard-local percentile
+// estimates. Pick shard
 // counts accordingly: P=1 reproduces sequential EWS exactly; P up to
 // the core count buys near-linear throughput at a small accuracy cost
 // that shrinks as per-shard sample sizes grow; past the core count
 // extra shards only fragment the training samples. Benchmark with
 // BenchmarkShardedStream (bench_test.go), which sweeps P from 1 to
 // GOMAXPROCS on the streaming MDP workload.
+//
+// # Global threshold coordination
+//
+// Why per-shard cutoffs are wrong under skew: the percentile threshold
+// is a quantile of the score distribution, and quantiles do not
+// compose across arbitrary partitions of the data. The hash router
+// keeps each attribute set on one shard, so an anomalous population
+// concentrated in a few attribute sets lands on a few shards and
+// inflates their local cutoffs — most anomalous points get labeled
+// inliers there — while the remaining shards keep flagging their
+// cleanest ~1-percentile of background as outliers. Merged across
+// shards, the anomaly's risk ratio collapses into the noise and the
+// report silently loses it (the skew-induced answer drift pinned by
+// TestGlobalThresholdFixesHotShardDrift).
+//
+// The fix is periodic cross-shard coordination of the one statistic
+// that must be global. classify.Streaming exports a mergeable score
+// summary (the ADR score reservoir's weighted sample); every
+// Config.CoordinateEvery points of stream progress, a coordinator
+// goroutine in core.StreamRunner collects the summaries over the same
+// worker control channels the snapshot path uses, pools them into a
+// weighted global quantile (stats.WeightedQuantile — each reservoir
+// weighted by the decayed point mass it represents), and pushes the
+// pooled cutoff back to every shard (classify.Streaming.
+// SetGlobalThreshold). A global cutoff overrides the shard-local
+// percentile estimate and suppresses local drift correction until the
+// shard's next retrain recomputes — and re-coordinates — from fresh
+// local state.
+//
+// Consistency model: coordination is asynchronous and best-effort.
+// Rounds fire on ingest progress, collection does not pause workers,
+// and between rounds shards classify against a cutoff up to
+// CoordinateEvery points (plus one collection round-trip) stale —
+// classification results near a cutoff shift are therefore
+// order-dependent, and coordinated multi-shard runs are not bit-exact
+// run to run. The boundary cases stay deterministic: P=1 runs never
+// start a coordinator (one pipeline already computes the global
+// quantile), and Config.DisableGlobalThreshold restores the old
+// per-shard behavior exactly — both are pinned bit-exact against the
+// sequential and manual-partition goldens. A final round flushes any
+// pending boundary crossing at end of stream, so short streams still
+// coordinate at least once. Observability rides along:
+// core.StreamStats carries per-shard load/outlier stats and the round
+// count, and pipeline.ShardedResult.Shards (the "shards" block in
+// mbserver's /stream/{id}) reports per-shard points, outlier rates and
+// threshold state, the hot-shard imbalance metric (hottest shard's
+// load share times P; 1.0 is perfectly balanced, P is total skew), and
+// the last global cutoff.
 //
 // # Flat-arena explanation structures
 //
@@ -137,7 +187,7 @@
 // (fptree.BuildInto, fptree.Miner), so a steady-state mine allocates
 // only its output itemsets. Regression cover: cmd/mbbench -bench
 // measures the hot-path kernels and -compare fails CI on >2x ns/op or
-// allocs/op inflation against the committed BENCH_PR4.json baseline.
+// allocs/op inflation against the committed BENCH_PR6.json baseline.
 //
 // # Push-based partitioned ingest
 //

@@ -10,14 +10,17 @@
 // deadline (StopContext), which stays bounded even if a producer were
 // wedged.
 //
-// The planted anomaly is fleet-shaped, the regime the sharded engine
-// is built for: a 200-device fleet where one device (d7) drains
-// abnormally on app version 2.26.3 — a fraction of a percent of the
-// whole stream, so every shard's adaptive threshold stays calibrated
-// and the merged explanation pins the bad device. (A single anomaly
-// making up several percent of the stream would instead inflate its
-// home shard's percentile cutoff — the Figure 11-style accuracy
-// trade-off documented in doc.go.)
+// The planted anomaly is fleet-shaped: a 200-device fleet where one
+// device (d7) drains abnormally on app version 2.26.3. The hash router
+// pins every {d7, 2.26.3} point to one shard, so that shard runs
+// hotter than its siblings — the per-shard skew report printed at the
+// end makes the imbalance visible. An anomaly heavy enough to inflate
+// its home shard's local percentile cutoff used to silently drag the
+// merged risk ratio down; periodic global threshold coordination (on
+// by default, see the coordination section in doc.go and the
+// TestGlobalThresholdFixesHotShardDrift regression) now pools the
+// shards' score quantiles into one global cutoff, so the report
+// survives the skew.
 //
 // Run:
 //
@@ -140,6 +143,17 @@ func main() {
 	for p, ig := range final.Stats.Ingest {
 		fmt.Printf("partition %d: %d batches / %d points accepted, producer blocked %v total\n",
 			p, ig.Batches, ig.Points, time.Duration(ig.BlockedNanos))
+	}
+	// The skew breakdown: per-shard load and threshold state, the
+	// hot-shard imbalance (1.0 = perfectly balanced, P = total skew),
+	// and the coordinated global cutoff the shards converged on.
+	if b := final.Shards; b != nil {
+		fmt.Printf("skew: hot shard %d, imbalance %.2f, %d coordination rounds, global cutoff %.2f\n",
+			b.HotShard, b.Imbalance, b.CoordRounds, b.GlobalCutoff)
+		for i, s := range b.PerShard {
+			fmt.Printf("shard %d: %d points, %d outliers (rate %.4f), threshold %.2f (global=%v)\n",
+				i, s.Points, s.Outliers, s.OutlierRate, s.Threshold, s.GlobalThreshold)
+		}
 	}
 	for i, e := range final.Explanations {
 		fmt.Printf("%d. %s\n", i+1, e.String())

@@ -305,3 +305,116 @@ func TestClassifyBatchZeroAlloc(t *testing.T) {
 		t.Fatalf("ClassifyBatch allocates %v allocs/run, want 0", n)
 	}
 }
+
+// TestScoreQuantileSummaryExport: the summary must carry a copy of the
+// decayed score-reservoir sample (into the caller's buffer) plus the
+// reservoir weight, and an untrained classifier exports an empty
+// summary mergers skip.
+func TestScoreQuantileSummaryExport(t *testing.T) {
+	s := NewStreaming(StreamingConfig{Dims: 1, WarmupPoints: 200, Seed: 3}, nil)
+
+	empty := s.ScoreQuantileSummary(nil)
+	if len(empty.Scores) != 0 || empty.Weight != 0 {
+		t.Errorf("untrained summary not empty: %d scores, weight %v", len(empty.Scores), empty.Weight)
+	}
+
+	s.ClassifyBatch(nil, genStream(5_000, 0.01, 3))
+	buf := make([]float64, 0, 8)
+	sum := s.ScoreQuantileSummary(buf)
+	if len(sum.Scores) == 0 || sum.Weight <= 0 {
+		t.Fatalf("trained summary empty: %d scores, weight %v", len(sum.Scores), sum.Weight)
+	}
+	// Warmup points are admitted before the model trains, so the score
+	// reservoir holds fewer observations than the stream delivered.
+	if got, want := sum.Weight, float64(len(sum.Scores)); got < want {
+		t.Errorf("weight %v below sample size %v (no decay has run)", got, want)
+	}
+	// The export is a copy: mutating it must not corrupt the reservoir.
+	for i := range sum.Scores {
+		sum.Scores[i] = -1
+	}
+	again := s.ScoreQuantileSummary(nil)
+	for _, v := range again.Scores {
+		if v == -1 {
+			t.Fatal("summary aliases the reservoir")
+		}
+	}
+}
+
+// TestSetGlobalThreshold: an external cutoff overrides the local
+// estimate, suppresses drift-driven recomputation, and is dropped at
+// the next retrain (a new model's scores are not comparable to the old
+// cutoff).
+func TestSetGlobalThreshold(t *testing.T) {
+	s := NewStreaming(StreamingConfig{
+		Dims: 1, Percentile: 0.99, WarmupPoints: 200,
+		RetrainEvery: 100_000, DriftZ: 3, DriftMinPoints: 500, Seed: 9,
+	}, nil)
+	s.ClassifyBatch(nil, genStream(3_000, 0.01, 5))
+	if s.ThresholdIsGlobal() {
+		t.Fatal("locally estimated threshold reported as global")
+	}
+
+	// Install an absurdly low global cutoff: everything becomes an
+	// outlier. Without the external flag, drift detection would snap
+	// the threshold back within DriftMinPoints; with it, the cutoff
+	// must hold.
+	s.SetGlobalThreshold(0.001)
+	if !s.ThresholdIsGlobal() || s.Threshold() != 0.001 {
+		t.Fatalf("global cutoff not installed: threshold %v, global %v", s.Threshold(), s.ThresholdIsGlobal())
+	}
+	labeled := s.ClassifyBatch(nil, genStream(2_000, 0, 6))
+	if s.Threshold() != 0.001 {
+		t.Errorf("drift detection overrode the global cutoff: threshold now %v", s.Threshold())
+	}
+	outliers := 0
+	for i := range labeled {
+		if labeled[i].Label == core.Outlier {
+			outliers++
+		}
+	}
+	if rate, n := s.ObservedOutlierRate(); n != len(labeled) || rate != float64(outliers)/float64(n) {
+		t.Errorf("ObservedOutlierRate (%v, %d) inconsistent with %d/%d", rate, n, outliers, len(labeled))
+	}
+
+	// Force a retrain: the external cutoff must give way to a fresh
+	// local estimate.
+	s.cfg.RetrainEvery = 100
+	s.ClassifyBatch(nil, genStream(200, 0, 7))
+	if s.ThresholdIsGlobal() {
+		t.Error("retrain kept the stale global cutoff")
+	}
+	if s.Threshold() == 0.001 {
+		t.Error("retrain did not re-estimate the threshold")
+	}
+}
+
+// TestScoreSummaryMergerWeighting: the pooled cutoff must weight each
+// shard by its reservoir weight, not its sample size — a heavy shard
+// with few samples outvotes a light one with many.
+func TestScoreSummaryMergerWeighting(t *testing.T) {
+	var m ScoreSummaryMerger
+
+	if _, ok := m.Merge(nil, 0.99); ok {
+		t.Error("merge of nothing reported ok")
+	}
+	if _, ok := m.Merge([]ScoreSummary{{}, {Scores: []float64{1}, Weight: 0}}, 0.99); ok {
+		t.Error("merge of empty/zero-weight summaries reported ok")
+	}
+
+	// Shard A: weight 90 spread over scores {1..9} -> 10 weight each.
+	// Shard B: weight 10 on score {100}. Pooled median sits in A;
+	// pooled 0.95 quantile is B's 100 (cum weight 90 < 95 <= 100).
+	a := ScoreSummary{Scores: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, Weight: 90}
+	b := ScoreSummary{Scores: []float64{100}, Weight: 10}
+	if cut, ok := m.Merge([]ScoreSummary{a, b}, 0.5); !ok || cut != 5 {
+		t.Errorf("median merge: got (%v, %v), want (5, true)", cut, ok)
+	}
+	if cut, ok := m.Merge([]ScoreSummary{a, b}, 0.95); !ok || cut != 100 {
+		t.Errorf("0.95 merge: got (%v, %v), want (100, true)", cut, ok)
+	}
+	// Empty summaries alongside real ones are skipped, not poisoning.
+	if cut, ok := m.Merge([]ScoreSummary{{}, a, {Scores: nil, Weight: 0}, b}, 0.5); !ok || cut != 5 {
+		t.Errorf("merge with empties: got (%v, %v), want (5, true)", cut, ok)
+	}
+}

@@ -93,6 +93,14 @@ type Streaming struct {
 	model      Scorer
 	threshold  float64
 	sinceTrain int
+	// external marks the threshold as coordinator-supplied
+	// (SetGlobalThreshold) rather than locally estimated. While set,
+	// drift detection does not recompute the threshold — under a global
+	// cutoff a skewed shard's outlier rate legitimately deviates from
+	// the target percentile, and a local recompute would thrash against
+	// the coordinator. Retraining clears it: scores from a new model are
+	// not comparable to a cutoff computed over the old model's scores.
+	external bool
 
 	// Drift counters since the last threshold computation.
 	driftSeen     int
@@ -131,6 +139,104 @@ func (s *Streaming) Model() Scorer { return s.model }
 
 // Threshold returns the current outlier score cutoff.
 func (s *Streaming) Threshold() float64 { return s.threshold }
+
+// ThresholdIsGlobal reports whether the current cutoff was installed by
+// SetGlobalThreshold (cross-shard coordination) rather than estimated
+// from the local score reservoir.
+func (s *Streaming) ThresholdIsGlobal() bool { return s.external }
+
+// ObservedOutlierRate returns the outlier fraction observed since the
+// threshold last changed, and the number of points it is based on.
+// Under a global cutoff this is the per-shard skew signal: a shard
+// holding a disproportionate share of the anomaly legitimately exceeds
+// the target 1-Percentile rate instead of silently absorbing it into
+// an inflated local cutoff.
+func (s *Streaming) ObservedOutlierRate() (rate float64, points int) {
+	if s.driftSeen == 0 {
+		return 0, 0
+	}
+	return float64(s.driftOutliers) / float64(s.driftSeen), s.driftSeen
+}
+
+// ScoreSummary is a mergeable summary of a streaming classifier's
+// recent score distribution: a copy of the decayed score-reservoir
+// sample plus the reservoir's total decayed weight. Each sampled score
+// stands for Weight/len(Scores) of stream weight, which is what lets
+// summaries from shards of very different sizes merge into one pooled
+// quantile estimate (stats.WeightedQuantile) with each shard
+// contributing in proportion to the stream it has actually seen.
+type ScoreSummary struct {
+	Scores []float64
+	Weight float64
+}
+
+// ScoreQuantileSummary exports the classifier's score summary for
+// cross-shard threshold coordination, appending the sample into
+// buf[:0] (pass the previous round's Scores to avoid reallocating).
+// An untrained or empty classifier returns an empty summary, which
+// mergers skip.
+func (s *Streaming) ScoreQuantileSummary(buf []float64) ScoreSummary {
+	return ScoreSummary{
+		Scores: append(buf[:0], s.scoreRes.Items()...),
+		Weight: s.scoreRes.Weight(),
+	}
+}
+
+// SetGlobalThreshold installs an externally coordinated score cutoff,
+// overriding the local percentile estimate until the next retrain (see
+// the external field for why drift detection pauses). The drift
+// counters restart so ObservedOutlierRate measures against the new
+// cutoff.
+func (s *Streaming) SetGlobalThreshold(t float64) {
+	s.threshold = t
+	s.external = true
+	s.driftSeen, s.driftOutliers = 0, 0
+}
+
+// ThresholdCoordinable is the contract between a classifier and the
+// sharded engine's threshold coordinator: export a mergeable score
+// summary, accept the merged global cutoff, and report the cutoff in
+// force. classify.Streaming implements it; custom per-shard
+// classifiers that also implement it participate in coordination,
+// others are left alone.
+type ThresholdCoordinable interface {
+	ScoreQuantileSummary(buf []float64) ScoreSummary
+	SetGlobalThreshold(threshold float64)
+	Threshold() float64
+	ThresholdIsGlobal() bool
+}
+
+// ScoreSummaryMerger folds per-shard score summaries into a pooled
+// percentile estimate, reusing internal scratch across rounds. Not
+// safe for concurrent use; the coordinator owns one instance.
+type ScoreSummaryMerger struct {
+	vals, wts []float64
+}
+
+// Merge computes the weighted percentile over the union of the
+// summaries' samples, weighting each sampled score by its summary's
+// Weight/len(Scores). Empty summaries (untrained or drained shards)
+// contribute nothing; ok is false when every summary is empty, in
+// which case there is no global estimate and the round should be
+// skipped.
+func (m *ScoreSummaryMerger) Merge(sums []ScoreSummary, percentile float64) (cutoff float64, ok bool) {
+	m.vals, m.wts = m.vals[:0], m.wts[:0]
+	for _, s := range sums {
+		n := len(s.Scores)
+		if n == 0 || s.Weight <= 0 {
+			continue
+		}
+		per := s.Weight / float64(n)
+		for _, v := range s.Scores {
+			m.vals = append(m.vals, v)
+			m.wts = append(m.wts, per)
+		}
+	}
+	if len(m.vals) == 0 {
+		return 0, false
+	}
+	return stats.WeightedQuantile(m.vals, m.wts, percentile), true
+}
 
 // ClassifyBatch implements core.Classifier. Points arriving before the
 // first model is trained are labeled inliers with score 0.
@@ -184,6 +290,11 @@ func (s *Streaming) retrain() {
 	}
 	s.model = model
 	s.Retrains++
+	// The recomputeThreshold below also drops any externally
+	// coordinated cutoff: the global threshold was a quantile of the
+	// old model's scores, which the new model's scores are not
+	// comparable to. The local estimate holds until the coordinator's
+	// next round.
 	// Rescore the training sample to seed the threshold when the
 	// score reservoir is empty or stale after a model change.
 	if s.scoreRes.Len() < s.cfg.WarmupPoints/2 {
@@ -195,8 +306,10 @@ func (s *Streaming) retrain() {
 }
 
 // recomputeThreshold re-estimates the percentile cutoff from the score
-// reservoir and resets the drift counters.
+// reservoir and resets the drift counters. The result is a local
+// estimate, so any external (coordinated) cutoff is superseded.
 func (s *Streaming) recomputeThreshold() {
+	s.external = false
 	items := s.scoreRes.Items()
 	if len(items) == 0 {
 		s.threshold = math.Inf(1)
@@ -215,7 +328,7 @@ func (s *Streaming) recomputeThreshold() {
 // footnote 4: a sustained deviation of the observed outlier rate from
 // the target percentile triggers an immediate threshold refresh.
 func (s *Streaming) maybeDriftCorrect() {
-	if s.cfg.DriftZ <= 0 || s.driftSeen < s.cfg.DriftMinPoints {
+	if s.external || s.cfg.DriftZ <= 0 || s.driftSeen < s.cfg.DriftMinPoints {
 		return
 	}
 	q := 1 - s.cfg.Percentile
@@ -236,3 +349,4 @@ func (s *Streaming) Decay() {
 
 var _ core.Classifier = (*Streaming)(nil)
 var _ core.Decayable = (*Streaming)(nil)
+var _ ThresholdCoordinable = (*Streaming)(nil)

@@ -55,11 +55,40 @@ type BatchPartition interface {
 // cumulative time producers spent blocked on a full queue (the direct
 // measure of backpressure felt), and Batches/Points count what
 // producers have successfully enqueued.
+//
+// The PerSec fields are windowed gauges derived from the cumulative
+// counters by the source (ingest.Push samples them on each stats read,
+// at most once per its rate window): the ingest rate over the most
+// recent window, and BlockedPerSec, the fraction of that window
+// producers spent blocked (seconds blocked per second of wall clock —
+// ~0 for a keeping-up pipeline, approaching 1 for one saturated by
+// backpressure). They are zero until a first window has elapsed, and
+// freeze at their last value once producers stop.
 type PartitionIngestStats struct {
-	Queued       int   `json:"queued"`
-	BlockedNanos int64 `json:"blockedNanos"`
-	Batches      int64 `json:"batches"`
-	Points       int64 `json:"points"`
+	Queued        int     `json:"queued"`
+	BlockedNanos  int64   `json:"blockedNanos"`
+	Batches       int64   `json:"batches"`
+	Points        int64   `json:"points"`
+	PointsPerSec  float64 `json:"pointsPerSec"`
+	BatchesPerSec float64 `json:"batchesPerSec"`
+	BlockedPerSec float64 `json:"blockedPerSec"`
+}
+
+// BatchSource is the slab-native form of Source for the sequential
+// engine (the pull-loop analog of BatchPartition): Runner loans it a
+// recycled Batch to fill, so a steady-state sequential read allocates
+// nothing beyond what parsing itself requires. CSVSource implements it
+// (parse-in-place), closing the last allocating ingest path.
+//
+// NextInto appends up to max points to b and returns nil, or
+// ErrEndOfStream once the source is exhausted (never both: a call that
+// appends at least one point returns nil, and the end is reported by
+// the following call). On any other error whatever was appended to b
+// is discarded by the caller — the same abort-the-batch semantics as
+// Next.
+type BatchSource interface {
+	Source
+	NextInto(b *Batch, max int) error
 }
 
 // IngestObservable is implemented by partitioned sources that expose

@@ -63,6 +63,7 @@ type Runner struct {
 	Stop func(stats RunStats) bool
 
 	exec pipeExec
+	ibuf Batch // recycled fill target for BatchSource pulls
 }
 
 // Stats returns statistics for the most recent Run.
@@ -72,6 +73,11 @@ func (r *Runner) Stats() RunStats { return r.exec.stats }
 // execution) or Stop requests a halt. In streaming deployments the
 // source is simply unbounded; the execution loop is identical
 // (paper §3.2: "all operators operate over streams").
+//
+// Sources that implement BatchSource are consumed through NextInto on
+// a single recycled Batch owned by the runner, so the sequential read
+// loop — like the sharded one — allocates nothing per batch in steady
+// state.
 func (r *Runner) Run() (RunStats, error) {
 	if r.Source == nil {
 		return RunStats{}, errors.New("core: Runner requires a Source")
@@ -87,6 +93,9 @@ func (r *Runner) Run() (RunStats, error) {
 	r.exec.policy = r.Decay
 	r.exec.onBatch = r.OnBatch
 	r.exec.reset()
+	if bs, ok := r.Source.(BatchSource); ok {
+		return r.runBatched(bs, batch)
+	}
 	for {
 		if r.Stop != nil && r.Stop(r.exec.stats) {
 			return r.exec.stats, ErrStopped
@@ -100,5 +109,29 @@ func (r *Runner) Run() (RunStats, error) {
 			return r.exec.stats, fmt.Errorf("core: source: %w", err)
 		}
 		r.exec.consume(pts)
+	}
+}
+
+// runBatched is the slab-native pull loop: the runner's own Batch is
+// reset and refilled each round, and its point views handed to the
+// batch kernel, which deep-copies nothing and retains nothing past the
+// consume call.
+func (r *Runner) runBatched(src BatchSource, batch int) (RunStats, error) {
+	for {
+		if r.Stop != nil && r.Stop(r.exec.stats) {
+			return r.exec.stats, ErrStopped
+		}
+		r.ibuf.Reset()
+		err := src.NextInto(&r.ibuf, batch)
+		if err == ErrEndOfStream {
+			r.exec.flush()
+			return r.exec.stats, nil
+		}
+		if err != nil {
+			// Drop whatever was appended before the failure — the same
+			// abort-the-batch semantics as the Next path.
+			return r.exec.stats, fmt.Errorf("core: source: %w", err)
+		}
+		r.exec.consume(r.ibuf.Points())
 	}
 }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// sliceBatchSource is a zero-steady-state-allocation BatchSource over a
+// fixed point slice, for exercising Runner's slab-native pull loop.
+type sliceBatchSource struct {
+	pts []Point
+	off int
+}
+
+func (s *sliceBatchSource) Next(max int) ([]Point, error) {
+	if s.off >= len(s.pts) {
+		return nil, ErrEndOfStream
+	}
+	end := min(s.off+max, len(s.pts))
+	out := s.pts[s.off:end]
+	s.off = end
+	return out, nil
+}
+
+func (s *sliceBatchSource) NextInto(b *Batch, max int) error {
+	if s.off >= len(s.pts) {
+		return ErrEndOfStream
+	}
+	end := min(s.off+max, len(s.pts))
+	for i := s.off; i < end; i++ {
+		b.AppendPoint(&s.pts[i])
+	}
+	s.off = end
+	return nil
+}
+
+var _ BatchSource = (*sliceBatchSource)(nil)
+
+// pullOnly hides NextInto, forcing Runner down the legacy Next path.
+type pullOnly struct{ src Source }
+
+func (p pullOnly) Next(max int) ([]Point, error) { return p.src.Next(max) }
+
+func runnerTestPoints(n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Metrics: []float64{float64(i % 97)}, Attrs: []int32{int32(i % 7)}}
+	}
+	return pts
+}
+
+// TestRunnerBatchSourceMatchesPull: the slab-native loop must be
+// point-for-point identical to the legacy Next loop — same stats, same
+// batch boundaries, same decay schedule.
+func TestRunnerBatchSourceMatchesPull(t *testing.T) {
+	pts := runnerTestPoints(10_000)
+	run := func(src Source) (RunStats, []float64) {
+		var seen []float64
+		r := Runner{
+			Source:     src,
+			Classifier: &thresholdClassifier{cut: 90},
+			BatchSize:  768,
+			Decay:      DecayPolicy{EveryPoints: 2048},
+			OnBatch: func(batch []LabeledPoint) {
+				for i := range batch {
+					seen = append(seen, batch[i].Score)
+				}
+			},
+		}
+		stats, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, seen
+	}
+
+	pullStats, pullSeen := run(pullOnly{&sliceBatchSource{pts: pts}})
+	batchStats, batchSeen := run(&sliceBatchSource{pts: pts})
+
+	if pullStats != batchStats {
+		t.Errorf("stats differ: pull %+v batch %+v", pullStats, batchStats)
+	}
+	if len(pullSeen) != len(batchSeen) {
+		t.Fatalf("point counts differ: %d vs %d", len(pullSeen), len(batchSeen))
+	}
+	for i := range pullSeen {
+		if pullSeen[i] != batchSeen[i] {
+			t.Fatalf("score %d differs: %v vs %v", i, pullSeen[i], batchSeen[i])
+		}
+	}
+}
+
+var errTestFailure = errors.New("synthetic source failure")
+
+type failingBatchSource struct {
+	pts    []Point
+	off    int
+	calls  int
+	failAt int
+}
+
+func (s *failingBatchSource) Next(max int) ([]Point, error) { panic("unused") }
+
+func (s *failingBatchSource) NextInto(b *Batch, max int) error {
+	if s.calls == s.failAt {
+		// Append half a batch, then fail: the caller must discard it.
+		for i := 0; i < max/2 && s.off < len(s.pts); i++ {
+			b.AppendPoint(&s.pts[s.off])
+			s.off++
+		}
+		return errTestFailure
+	}
+	s.calls++
+	end := min(s.off+max, len(s.pts))
+	for i := s.off; i < end; i++ {
+		b.AppendPoint(&s.pts[i])
+	}
+	s.off = end
+	return nil
+}
+
+// TestRunnerBatchSourceErrorDropsPartialBatch: a mid-batch source
+// failure aborts the whole batch, matching Next's abort semantics.
+func TestRunnerBatchSourceErrorDropsPartialBatch(t *testing.T) {
+	src := &failingBatchSource{pts: runnerTestPoints(100), failAt: 2}
+	r := Runner{Source: src, BatchSize: 32}
+	stats, err := r.Run()
+	if !errors.Is(err, errTestFailure) {
+		t.Fatalf("err = %v, want wrapped synthetic failure", err)
+	}
+	// Two full batches consumed; the partially filled third dropped.
+	if stats.Points != 64 {
+		t.Errorf("points = %d, want 64 (partial batch must not count)", stats.Points)
+	}
+}
+
+// TestRunnerBatchSourceAllocFree pins the satellite goal: with a
+// BatchSource, the sequential read loop allocates nothing in steady
+// state (the recycled ibuf slabs absorb every batch).
+func TestRunnerBatchSourceAllocFree(t *testing.T) {
+	pts := runnerTestPoints(8_192)
+	src := &sliceBatchSource{pts: pts}
+	r := Runner{Source: src, Classifier: &thresholdClassifier{cut: 90}, BatchSize: 1024}
+	if _, err := r.Run(); err != nil { // warm-up: sizes ibuf slabs and exec scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		src.off = 0
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state batched Run allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -30,6 +30,9 @@ type StreamStats struct {
 	RunStats
 	// PerShard holds each shard worker's own statistics.
 	PerShard []RunStats
+	// CoordRounds counts completed cross-shard coordination rounds
+	// (zero when no Coordinate hook was configured).
+	CoordRounds int
 	// Ingest holds per-partition producer-side counters (queue depth,
 	// cumulative blocked time) when the partitioned source implements
 	// IngestObservable; nil otherwise. Populated when Run returns.
@@ -131,6 +134,11 @@ type StreamRunner struct {
 	// drain. RequestStop is the push-based equivalent and additionally
 	// cancels in-flight NextBatch calls.
 	Stop func(pointsIngested int) bool
+	// Coordinate, when non-nil, enables periodic cross-shard
+	// reconciliation of operator state (e.g. merging per-shard score
+	// quantiles into one global classification threshold). See
+	// ShardCoordinator for the protocol and its consistency model.
+	Coordinate *ShardCoordinator
 
 	workersMu sync.Mutex // guards workers/quit against end-of-run teardown
 	workers   []*shardWorker
@@ -155,10 +163,61 @@ type StreamRunner struct {
 	liveOutPoints atomic.Int64
 	liveOutliers  atomic.Int64
 	liveTicks     atomic.Int64
+	liveRounds    atomic.Int64
+
+	// coordCh wakes the coordinator goroutine when the ingested-point
+	// count crosses a Coordinate.Every boundary; nil when coordination
+	// is off. Buffered 1: a round already pending absorbs further
+	// signals (rounds are periodic, not per-signal). coordFlush tells
+	// the coordinator the stream has ended: it runs one final round if
+	// a boundary signal is still pending (so a crossing just before
+	// end-of-stream is not silently dropped), then closes coordDone and
+	// exits — all before Run tears the workers down.
+	coordCh    chan struct{}
+	coordFlush chan struct{}
+	coordDone  chan struct{}
 }
 
+// ShardCoordinator periodically reconciles state across the
+// shared-nothing shards: every Every ingested points the coordinator
+// goroutine collects one summary per shard (Collect runs on the
+// shard's worker goroutine between batches, like snapshots), merges
+// them off to the side (Merge runs on the coordinator goroutine), and
+// pushes the merged value back to every shard (Apply, again on the
+// worker goroutines). Rounds are serialized: a round's applies all
+// land before the next round's collects begin.
+//
+// The consistency model is deliberately loose — coordination is
+// periodic and asynchronous with ingestion, so a shard applies a
+// global value computed from summaries up to one round old, and the
+// points a worker consumes while a round is in flight still see the
+// previous value. Every bounds that staleness window in ingested
+// points. This is the Muppet-style "exchange small summaries between
+// workers" pattern: cheap enough to run frequently, eventually
+// consistent between rounds.
+type ShardCoordinator struct {
+	// Every is the number of ingested points between rounds
+	// (required; <= 0 disables coordination).
+	Every int
+	// Collect returns shard's current summary; nil means the shard has
+	// nothing to contribute this round.
+	Collect func(shard int, pl ShardPipeline) any
+	// Merge combines the per-shard summaries (indexed by shard, nil
+	// entries included) into the global value. ok=false skips the
+	// round's apply phase (e.g. every summary was empty).
+	Merge func(summaries []any) (global any, ok bool)
+	// Apply installs the merged value on shard.
+	Apply func(shard int, pl ShardPipeline, global any)
+}
+
+// snapshotReq is a control-plane request served on a worker goroutine
+// between batches: a snapshot (fn nil; answered via SnapshotShard) or
+// a coordination collect/apply (fn non-nil; answered with fn's
+// result). reply is buffered so workers never block on a slow
+// requester.
 type snapshotReq struct {
 	hint  any
+	fn    func(shard int, pl ShardPipeline) any
 	reply chan any
 }
 
@@ -172,13 +231,29 @@ type shardWorker struct {
 	snap  chan snapshotReq
 	done  chan struct{} // closed when the worker has drained and flushed
 	exec  pipeExec      // the shared batch kernel, one replica per shard
+
+	// Per-shard live counters, readable mid-run (LiveShardStats): the
+	// load/outlier view that makes hash skew observable while the
+	// stream is still running.
+	livePoints   atomic.Int64
+	liveOutliers atomic.Int64
 }
 
 // consume runs one batch through the pipeline and recycles it. The
 // batch's views die here: nothing downstream may retain them.
 func (w *shardWorker) consume(b *Batch) {
+	w.livePoints.Add(int64(b.Len()))
 	w.exec.consume(b.Points())
 	w.pool.Put(b)
+}
+
+// serve answers one control-plane request on the worker goroutine.
+func (w *shardWorker) serve(req snapshotReq) {
+	if req.fn != nil {
+		req.reply <- req.fn(w.id, w.pl)
+		return
+	}
+	req.reply <- w.r.SnapshotShard(w.id, w.pl, req.hint)
 }
 
 // ErrNotStreaming is returned by Snapshot outside a Run.
@@ -262,6 +337,7 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	r.liveOutPoints.Store(0)
 	r.liveOutliers.Store(0)
 	r.liveTicks.Store(0)
+	r.liveRounds.Store(0)
 	r.quit = make(chan struct{})
 	r.workers = make([]*shardWorker, shards)
 	// One free list serves the whole run: batches circulate
@@ -292,6 +368,7 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 			onDispatch: func(outPoints, outliers int) {
 				r.liveOutPoints.Add(int64(outPoints))
 				r.liveOutliers.Add(int64(outliers))
+				w.liveOutliers.Add(int64(outliers))
 			},
 			onTick: func() { r.liveTicks.Add(1) },
 		}
@@ -304,6 +381,19 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 		workerWg.Add(1)
 		r.snapWg.Add(1)
 		go w.run(&workerWg)
+	}
+
+	// The coordinator rides the same control plane as snapshots (the
+	// snap channels) and the same teardown (quit + snapWg), so Run
+	// cannot hand the pipelines to its caller while a Collect or Apply
+	// is still touching them.
+	r.coordCh = nil
+	if r.Coordinate != nil && r.Coordinate.Every > 0 {
+		r.coordCh = make(chan struct{}, 1)
+		r.coordFlush = make(chan struct{})
+		r.coordDone = make(chan struct{})
+		r.snapWg.Add(1)
+		go r.coordinate(r.workers)
 	}
 
 	// Arm the stop/abandon controls for this run. A RequestStop that
@@ -374,8 +464,18 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	}
 	workerWg.Wait()
 
+	// Retire the coordinator before reading stats: a boundary crossed
+	// shortly before end-of-stream still gets its round (workers keep
+	// serving control requests until quit closes below), and no round
+	// can then race the CoordRounds read or the teardown.
+	if r.coordCh != nil {
+		close(r.coordFlush)
+		<-r.coordDone
+	}
+
 	stats := StreamStats{PerShard: make([]RunStats, shards)}
 	stats.Points = int(r.livePoints.Load())
+	stats.CoordRounds = int(r.liveRounds.Load())
 	for s, w := range r.workers {
 		stats.PerShard[s] = w.exec.stats
 		stats.OutPoints += w.exec.stats.OutPoints
@@ -468,7 +568,7 @@ func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, 
 					// Single shard: the worker takes ownership of the
 					// whole recycled batch — routing degenerates to a
 					// pointer handoff, no copy at all.
-					r.livePoints.Add(int64(ib.Len()))
+					r.notePoints(int64(ib.Len()))
 					if !send(ctx, workers[0], ib) {
 						return nil // cancelled: defer recycles the undelivered ib
 					}
@@ -492,7 +592,7 @@ func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, 
 		if ctx.Err() != nil {
 			return nil // cancelled while a non-cancellable read was in flight
 		}
-		r.livePoints.Add(int64(len(pts)))
+		r.notePoints(int64(len(pts)))
 		// Scatter: one pass, appending each point's payload into its
 		// shard's staged slab. The copy severs every reference to the
 		// source's memory, which is what lets the source (and ib)
@@ -532,6 +632,104 @@ func send(ctx context.Context, w *shardWorker, b *Batch) bool {
 	}
 }
 
+// notePoints advances the live ingested-point counter and signals the
+// coordinator when the count crosses a Coordinate.Every boundary. The
+// send is non-blocking: a signal already pending stands for this one
+// too (rounds are periodic, not queued).
+func (r *StreamRunner) notePoints(n int64) {
+	nv := r.livePoints.Add(n)
+	if r.coordCh == nil {
+		return
+	}
+	every := int64(r.Coordinate.Every)
+	if nv/every != (nv-n)/every {
+		select {
+		case r.coordCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// coordinate is the coordinator goroutine: on each boundary signal it
+// runs one round — collect a summary from every shard (on the shards'
+// worker goroutines, between batches), merge on this goroutine, and
+// apply the merged value back to every shard. It exits when Run closes
+// quit; a round in flight at that point is abandoned safely (reply
+// channels are buffered, and a request a worker has accepted is always
+// answered before the worker exits).
+func (r *StreamRunner) coordinate(workers []*shardWorker) {
+	defer r.snapWg.Done()
+	defer close(r.coordDone)
+	reqs := make([]snapshotReq, len(workers))
+	sums := make([]any, len(workers))
+	for {
+		select {
+		case <-r.coordCh:
+		case <-r.coordFlush:
+			// End-of-stream: run the round for a boundary crossed just
+			// before the last point, then retire. The workers are still
+			// serving control requests — Run waits on coordDone before
+			// closing quit — so this final round cannot wedge.
+			select {
+			case <-r.coordCh:
+				r.coordRound(workers, reqs, sums)
+			default:
+			}
+			return
+		case <-r.quit:
+			return
+		}
+		if !r.coordRound(workers, reqs, sums) {
+			return
+		}
+	}
+}
+
+// coordRound runs one collect/merge/apply round; false means the run
+// shut down mid-round (the round is abandoned safely: reply channels
+// are buffered, and a request a worker has accepted is always answered
+// before the worker exits).
+func (r *StreamRunner) coordRound(workers []*shardWorker, reqs []snapshotReq, sums []any) bool {
+	c := r.Coordinate
+	// Collect phase: fan out, then gather. Once a send has been
+	// accepted the reply is guaranteed, so only the sends select on
+	// quit.
+	for i, w := range workers {
+		reqs[i] = snapshotReq{fn: c.Collect, reply: make(chan any, 1)}
+		select {
+		case w.snap <- reqs[i]:
+		case <-r.quit:
+			return false
+		}
+	}
+	for i := range reqs {
+		sums[i] = <-reqs[i].reply
+	}
+	global, ok := c.Merge(sums)
+	if !ok {
+		return true
+	}
+	// Apply phase: same fan-out/gather shape; gathering before the
+	// next round is what serializes rounds.
+	apply := func(shard int, pl ShardPipeline) any {
+		c.Apply(shard, pl, global)
+		return nil
+	}
+	for i, w := range workers {
+		reqs[i] = snapshotReq{fn: apply, reply: make(chan any, 1)}
+		select {
+		case w.snap <- reqs[i]:
+		case <-r.quit:
+			return false
+		}
+	}
+	for i := range reqs {
+		<-reqs[i].reply
+	}
+	r.liveRounds.Add(1)
+	return true
+}
+
 // LiveStats reports approximate run-in-progress totals. Safe to call
 // concurrently with Run; each field is individually consistent.
 func (r *StreamRunner) LiveStats() RunStats {
@@ -541,6 +739,30 @@ func (r *StreamRunner) LiveStats() RunStats {
 		Outliers:   int(r.liveOutliers.Load()),
 		DecayTicks: int(r.liveTicks.Load()),
 	}
+}
+
+// LiveCoordRounds reports the number of completed coordination rounds
+// so far. Safe to call concurrently with Run.
+func (r *StreamRunner) LiveCoordRounds() int {
+	return int(r.liveRounds.Load())
+}
+
+// LiveShardStats appends one approximate per-shard entry (points
+// routed, outliers labeled) per worker and returns dst — the live
+// skew view behind the serving layer's "shards" block. Safe to call
+// concurrently with Run; after the run has torn down it appends
+// nothing (callers then read StreamStats.PerShard off the final
+// result instead).
+func (r *StreamRunner) LiveShardStats(dst []RunStats) []RunStats {
+	r.workersMu.Lock()
+	defer r.workersMu.Unlock()
+	for _, w := range r.workers {
+		dst = append(dst, RunStats{
+			Points:   int(w.livePoints.Load()),
+			Outliers: int(w.liveOutliers.Load()),
+		})
+	}
+	return dst
 }
 
 // Snapshot collects one summary snapshot per shard, taken on each
@@ -653,7 +875,7 @@ func (w *shardWorker) run(wg *sync.WaitGroup) {
 				return
 			}
 		case req := <-w.snap:
-			req.reply <- w.r.SnapshotShard(w.id, w.pl, req.hint)
+			w.serve(req)
 		}
 	}
 }
@@ -667,7 +889,7 @@ func (w *shardWorker) serveSnapshots() {
 	for {
 		select {
 		case req := <-w.snap:
-			req.reply <- w.r.SnapshotShard(w.id, w.pl, req.hint)
+			w.serve(req)
 		case <-w.r.quit:
 			return
 		}

@@ -42,6 +42,13 @@ type QueryConfig struct {
 	// Confidence, when positive, attaches risk-ratio confidence
 	// intervals at the given level.
 	Confidence float64 `json:"confidence,omitempty"`
+	// CoordinateEvery is the cross-shard threshold coordination period
+	// in points (default 25000; only meaningful for sharded streams).
+	CoordinateEvery int `json:"coordinateEvery,omitempty"`
+	// DisableGlobalThreshold turns cross-shard threshold coordination
+	// off, restoring per-shard percentile cutoffs (bit-exact
+	// reproducible, but skew-sensitive).
+	DisableGlobalThreshold bool `json:"disableGlobalThreshold,omitempty"`
 	// Seed fixes all randomized components.
 	Seed uint64 `json:"seed,omitempty"`
 }

@@ -153,6 +153,10 @@ func (s *CSVSource) Next(max int) ([]core.Point, error) {
 	return out, nil
 }
 
+// CSVSource is a core.BatchSource, so the sequential Runner also pulls
+// through the parse-in-place path.
+var _ core.BatchSource = (*CSVSource)(nil)
+
 // NextInto parses up to max rows directly into b's recycled slabs —
 // the allocation-free form of Next used by the batch-native streaming
 // engine (csvPartition implements core.BatchPartition with it). Parsed

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -298,5 +299,71 @@ func TestPartitionedCSVCancelBetweenReads(t *testing.T) {
 	cancel()
 	if _, err := ps.Partitions()[0].NextBatch(ctx, 16); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled partition read: %v", err)
+	}
+}
+
+// TestPushWindowedRates drives the rate sampler through a fake clock:
+// the first stats read anchors the window and reports zero gauges, a
+// read one second later reports the per-second deltas, and a mid-window
+// read keeps serving the previous window's gauges instead of computing
+// rates over a sliver of wall clock.
+func TestPushWindowedRates(t *testing.T) {
+	p := NewPush(2, 4)
+	clock := time.Unix(1_000_000, 0)
+	p.now = func() time.Time { return clock }
+
+	ctx := context.Background()
+	if err := p.Producer(0).Send(ctx, pushBatch(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First read: anchors the window, gauges are zero.
+	st := p.IngestStats(nil)
+	if st[0].PointsPerSec != 0 || st[0].BatchesPerSec != 0 || st[0].BlockedPerSec != 0 {
+		t.Errorf("rates before first window: %+v", st[0])
+	}
+
+	// One second later, after more traffic on both partitions and some
+	// simulated backpressure on partition 1.
+	if err := p.Producer(0).Send(ctx, pushBatch(100, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Producer(1).Send(ctx, pushBatch(0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	p.parts[1].blockedNanos.Add(int64(500 * time.Millisecond))
+	clock = clock.Add(time.Second)
+	st = p.IngestStats(st[:0])
+	if st[0].PointsPerSec != 150 || st[0].BatchesPerSec != 1 {
+		t.Errorf("partition 0 window rates: points/s %v batches/s %v, want 150, 1",
+			st[0].PointsPerSec, st[0].BatchesPerSec)
+	}
+	if st[1].PointsPerSec != 60 || st[1].BlockedPerSec != 0.5 {
+		t.Errorf("partition 1 window rates: points/s %v blocked/s %v, want 60, 0.5",
+			st[1].PointsPerSec, st[1].BlockedPerSec)
+	}
+
+	// Mid-window read: previous gauges survive, cumulative counters move.
+	if err := p.Producer(0).Send(ctx, pushBatch(250, 10)); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(p.rateWindow / 2)
+	st = p.IngestStats(st[:0])
+	if st[0].Points != 260 {
+		t.Errorf("cumulative points %d, want 260", st[0].Points)
+	}
+	if st[0].PointsPerSec != 150 {
+		t.Errorf("mid-window read recomputed the gauge: %v, want previous 150", st[0].PointsPerSec)
+	}
+
+	// Next full window: only the 10-point batch landed in it.
+	clock = clock.Add(p.rateWindow)
+	st = p.IngestStats(st[:0])
+	wantPts := 10 / (p.rateWindow.Seconds() * 1.5)
+	if math.Abs(st[0].PointsPerSec-wantPts) > 1e-9 {
+		t.Errorf("second window points/s %v, want %v", st[0].PointsPerSec, wantPts)
+	}
+	if st[1].PointsPerSec != 0 {
+		t.Errorf("idle partition 1 points/s %v, want 0", st[1].PointsPerSec)
 	}
 }

@@ -70,6 +70,24 @@ type Config struct {
 	// Output is identical either way; this exists for benchmarking the
 	// cache and for paranoid deployments.
 	DisableExplainCache bool
+	// CoordinateEvery is the cross-shard threshold coordination period
+	// in ingested points (default 25_000): every so many points the
+	// coordinator collects each shard's score-quantile summary, merges
+	// them into a global percentile cutoff, and pushes it back to every
+	// shard classifier, so an anomaly concentrated on one shard cannot
+	// silently inflate that shard's local threshold and suppress the
+	// merged explanation. Irrelevant with one shard (a single pipeline
+	// already computes the global quantile) and for custom classifiers
+	// that do not implement classify.ThresholdCoordinable.
+	CoordinateEvery int
+	// DisableGlobalThreshold turns coordination off, restoring the
+	// pre-coordination per-shard percentile cutoffs. Set it when
+	// bit-exact reproducibility across runs matters more than answer
+	// quality under skew: coordination rounds fire asynchronously with
+	// ingest, so coordinated multi-shard runs are not bit-exact
+	// run-to-run (they converge to the same explanations, with risk
+	// ratios varying slightly with round timing).
+	DisableGlobalThreshold bool
 	// Seed fixes all randomized components.
 	Seed uint64
 }
@@ -101,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 4096
+	}
+	if c.CoordinateEvery == 0 {
+		c.CoordinateEvery = 25_000
 	}
 	return c
 }

@@ -3,7 +3,9 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"macrobase/internal/classify"
@@ -26,6 +28,76 @@ type ShardedResult struct {
 	// final results; a one-shot RunShardedStream merges exactly once
 	// and reports that single full mine.
 	Cache explain.CacheStats
+	// Shards is the skew-observability breakdown: per-shard load,
+	// outlier, and threshold state plus the hot-shard imbalance metric.
+	// Nil only when a live poll races stream termination (the final
+	// result then carries it).
+	Shards *ShardBreakdown
+}
+
+// ShardStatus is one shard's entry in the skew breakdown.
+type ShardStatus struct {
+	// Points is the number of points the hash router sent this shard.
+	Points int `json:"points"`
+	// Outliers is the number of points this shard labeled Outlier.
+	Outliers int `json:"outliers"`
+	// OutlierRate is Outliers over the points this shard classified.
+	OutlierRate float64 `json:"outlierRate"`
+	// Threshold is the shard classifier's current score cutoff (NaN
+	// for custom classifiers that expose none, +Inf during warmup).
+	Threshold float64 `json:"threshold"`
+	// GlobalThreshold reports whether the cutoff came from cross-shard
+	// coordination rather than the shard's local percentile estimate.
+	GlobalThreshold bool `json:"globalThreshold"`
+}
+
+// ShardBreakdown surfaces the skew that per-shard thresholds used to
+// silently turn into answer drift: who is hot, how hot, and whether the
+// global cutoff is in force.
+type ShardBreakdown struct {
+	PerShard []ShardStatus `json:"perShard"`
+	// Imbalance is the hottest shard's load share divided by the fair
+	// share 1/P: 1.0 is perfectly balanced, P means one shard took
+	// everything. The firehose scenario that motivated coordination
+	// shows up here before it shows up as a missing explanation.
+	Imbalance float64 `json:"imbalance"`
+	// HotShard indexes the most loaded shard (-1 before any load).
+	HotShard int `json:"hotShard"`
+	// Coordinated reports whether cross-shard threshold coordination
+	// is active for this run.
+	Coordinated bool `json:"coordinated"`
+	// CoordRounds counts completed coordination rounds so far.
+	CoordRounds int `json:"coordRounds"`
+	// GlobalCutoff is the last merged global threshold (NaN before the
+	// first round or with coordination off).
+	GlobalCutoff float64 `json:"globalCutoff"`
+}
+
+// coordState is the session-visible side of threshold coordination:
+// whether it is on, and the last merged cutoff (written by the
+// coordinator goroutine's Merge, read by pollers).
+type coordState struct {
+	enabled bool
+	cut     atomic.Uint64 // math.Float64bits of the last merged cutoff
+	has     atomic.Bool
+}
+
+// cutoff returns the last merged global threshold, if any round has
+// completed.
+func (cs *coordState) cutoff() (float64, bool) {
+	if cs == nil || !cs.has.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(cs.cut.Load()), true
+}
+
+// newCoordState decides whether coordination runs: it is on by default
+// for multi-shard streams (it is the fix for skew-induced answer
+// drift) and off for a single shard, whose one pipeline already
+// computes the global quantile — keeping P=1 bit-exact with
+// RunStreaming.
+func newCoordState(cfg Config, shards int) *coordState {
+	return &coordState{enabled: shards > 1 && !cfg.DisableGlobalThreshold && cfg.CoordinateEvery > 0}
 }
 
 // newShardPipeline builds shard s's MDP operator replicas. Shard seeds
@@ -93,20 +165,122 @@ func validateSharded(cfg Config, shards int) error {
 // newStreamRunner assembles the sharded runner over either ingest
 // shape; exactly one of src/parts is non-nil. NewShard runs
 // sequentially on the constructing goroutine before workers start, so
-// plain slice writes into explainers are safe.
-func newStreamRunner(src core.Source, parts core.PartitionedSource, cfg Config, shards int, explainers []*explain.Streaming) *core.StreamRunner {
-	return &core.StreamRunner{
+// plain slice writes into explainers/classifiers are safe.
+//
+// When coord is enabled the runner gets a ShardCoordinator that merges
+// per-shard score-quantile summaries into one global percentile cutoff
+// and pushes it back through classify.SetGlobalThreshold. Custom
+// classifiers that do not implement classify.ThresholdCoordinable
+// contribute nothing and receive nothing — their rounds merge zero
+// summaries and no-op.
+func newStreamRunner(src core.Source, parts core.PartitionedSource, cfg Config, shards int, explainers []*explain.Streaming, classifiers []core.Classifier, coord *coordState) *core.StreamRunner {
+	r := &core.StreamRunner{
 		Source:      src,
 		Partitioned: parts,
 		Shards:      shards,
 		NewShard: func(shard int) core.ShardPipeline {
 			pl := newShardPipeline(cfg, shard)
 			explainers[shard] = pl.Explainer.(*explain.Streaming)
+			classifiers[shard] = pl.Classifier
 			return pl
 		},
 		BatchSize: cfg.BatchSize,
 		Decay:     core.DecayPolicy{EveryPoints: cfg.DecayEveryPoints},
 	}
+	if coord != nil && coord.enabled {
+		// Round scratch, all owned by the coordinator's serialized
+		// rounds: per-shard score buffers (filled on the shard's worker
+		// goroutine, read by the merge — rounds never overlap, so no
+		// two uses of a buffer do either) and the merger's own scratch.
+		bufs := make([][]float64, shards)
+		merger := &classify.ScoreSummaryMerger{}
+		sums := make([]classify.ScoreSummary, 0, shards)
+		r.Coordinate = &core.ShardCoordinator{
+			Every: cfg.CoordinateEvery,
+			Collect: func(shard int, pl core.ShardPipeline) any {
+				tc, ok := pl.Classifier.(classify.ThresholdCoordinable)
+				if !ok {
+					return nil
+				}
+				sum := tc.ScoreQuantileSummary(bufs[shard])
+				bufs[shard] = sum.Scores // keep the (possibly grown) buffer
+				return sum
+			},
+			Merge: func(raw []any) (any, bool) {
+				sums = sums[:0]
+				for _, v := range raw {
+					if s, ok := v.(classify.ScoreSummary); ok {
+						sums = append(sums, s)
+					}
+				}
+				cut, ok := merger.Merge(sums, cfg.Percentile)
+				if !ok {
+					return nil, false
+				}
+				coord.cut.Store(math.Float64bits(cut))
+				coord.has.Store(true)
+				return cut, true
+			},
+			Apply: func(shard int, pl core.ShardPipeline, global any) {
+				if tc, ok := pl.Classifier.(classify.ThresholdCoordinable); ok {
+					tc.SetGlobalThreshold(global.(float64))
+				}
+			},
+		}
+	}
+	return r
+}
+
+// finalShardStatuses assembles the post-run skew entries from the
+// runner's final per-shard stats and the classifier replicas (owned by
+// the caller once Run has returned).
+func finalShardStatuses(stats core.StreamStats, classifiers []core.Classifier) []ShardStatus {
+	per := make([]ShardStatus, len(stats.PerShard))
+	for i, rs := range stats.PerShard {
+		st := ShardStatus{Points: rs.Points, Outliers: rs.Outliers, Threshold: math.NaN()}
+		if rs.OutPoints > 0 {
+			st.OutlierRate = float64(rs.Outliers) / float64(rs.OutPoints)
+		}
+		if i < len(classifiers) {
+			if tc, ok := classifiers[i].(classify.ThresholdCoordinable); ok {
+				st.Threshold = tc.Threshold()
+				st.GlobalThreshold = tc.ThresholdIsGlobal()
+			}
+		}
+		per[i] = st
+	}
+	return per
+}
+
+// newShardBreakdown folds per-shard statuses into the breakdown:
+// hottest shard, imbalance vs the fair share, and the coordination
+// view.
+func newShardBreakdown(per []ShardStatus, coord *coordState, rounds int) *ShardBreakdown {
+	b := &ShardBreakdown{
+		PerShard:     per,
+		HotShard:     -1,
+		Coordinated:  coord != nil && coord.enabled,
+		CoordRounds:  rounds,
+		GlobalCutoff: math.NaN(),
+	}
+	if cut, ok := coord.cutoff(); ok {
+		b.GlobalCutoff = cut
+	}
+	total := 0
+	for _, s := range per {
+		total += s.Points
+	}
+	if total > 0 {
+		maxShare := 0.0
+		for i, s := range per {
+			share := float64(s.Points) / float64(total)
+			if share > maxShare {
+				maxShare, b.HotShard = share, i
+			}
+		}
+		b.Imbalance = maxShare * float64(len(per))
+	}
+	return b
 }
 
 // RunShardedStream executes MDP in exponentially weighted streaming
@@ -117,8 +291,12 @@ func newStreamRunner(src core.Source, parts core.PartitionedSource, cfg Config, 
 // set. With shards=1 this is exactly RunStreaming. With shards>1 each
 // combination's counts are concentrated on a single shard by the hash
 // router, so merged support is exact up to the (summed) sketch bounds;
-// classification thresholds, however, adapt per shard — the sharded
-// analog of the accuracy trade-off RunParallel exhibits in Figure 11.
+// classification thresholds are reconciled every CoordinateEvery
+// points by the cross-shard coordinator (a merged global percentile
+// cutoff), so skewed routing no longer drifts the answer away from the
+// single-pipeline one. Set DisableGlobalThreshold to recover the old
+// per-shard cutoffs — the sharded analog of the accuracy trade-off
+// RunParallel exhibits in Figure 11.
 func RunShardedStream(src core.Source, cfg Config, shards int) (*ShardedResult, error) {
 	return runSharded(src, nil, cfg, shards)
 }
@@ -140,7 +318,9 @@ func runSharded(src core.Source, parts core.PartitionedSource, cfg Config, shard
 		return nil, err
 	}
 	explainers := make([]*explain.Streaming, shards)
-	r := newStreamRunner(src, parts, cfg, shards, explainers)
+	classifiers := make([]core.Classifier, shards)
+	coord := newCoordState(cfg, shards)
+	r := newStreamRunner(src, parts, cfg, shards, explainers, classifiers, coord)
 	stats, err := r.Run()
 	if err != nil {
 		return nil, err
@@ -154,6 +334,7 @@ func runSharded(src core.Source, parts core.PartitionedSource, cfg Config, shard
 		Stats:        stats,
 		Explanations: merger.Merge(explainers),
 		Cache:        merger.Stats(),
+		Shards:       newShardBreakdown(finalShardStatuses(stats, classifiers), coord, stats.CoordRounds),
 	}, nil
 }
 
@@ -190,6 +371,10 @@ type StreamSession struct {
 	have   []bool
 	elide  bool // off when the explain cache is force-disabled
 
+	// coord is the coordination view shared with the runner's merge
+	// closure; pollers read the last global cutoff from it.
+	coord *coordState
+
 	mu    sync.Mutex
 	final *ShardedResult
 	err   error
@@ -197,10 +382,16 @@ type StreamSession struct {
 
 // shardSnap is what the session's snapshot hook returns per shard: the
 // shard's current summary signature, plus a fresh clone unless the
-// hint proved the caller's retained snapshot still current.
+// hint proved the caller's retained snapshot still current. The
+// threshold fields are read on the worker goroutine alongside the
+// signature, so live polls report a cutoff consistent with the shard's
+// own view at snapshot time.
 type shardSnap struct {
-	sig   explain.Signature
-	clone *explain.Streaming // nil: elided, reuse the retained snapshot
+	sig    explain.Signature
+	clone  *explain.Streaming // nil: elided, reuse the retained snapshot
+	thr    float64
+	glob   bool
+	hasThr bool
 }
 
 // StartShardedStream validates the configuration and launches a
@@ -230,25 +421,33 @@ func startSession(src core.Source, parts core.PartitionedSource, cfg Config, sha
 		elide:  !cfg.DisableExplainCache,
 	}
 	explainers := make([]*explain.Streaming, shards)
-	s.runner = newStreamRunner(src, parts, cfg, shards, explainers)
+	classifiers := make([]core.Classifier, shards)
+	s.coord = newCoordState(cfg, shards)
+	s.runner = newStreamRunner(src, parts, cfg, shards, explainers, classifiers, s.coord)
 	// Poll clones the shard's summary on the worker goroutine: the
 	// worker keeps consuming after the snapshot is handed over, so the
 	// clone is the isolation boundary. When the hint (the signature
 	// retained from a previous poll) matches the current state, the
 	// clone — the poll path's last remaining per-shard memcpy — is
-	// skipped entirely.
+	// skipped entirely. The classifier threshold rides along either
+	// way, for the live skew breakdown.
 	s.runner.SnapshotShard = func(shard int, pl core.ShardPipeline, hint any) any {
 		ex := pl.Explainer.(*explain.Streaming)
-		sig := ex.Signature()
-		if h, ok := hint.(explain.Signature); ok && h == sig {
-			return shardSnap{sig: sig}
+		sn := shardSnap{sig: ex.Signature()}
+		if tc, ok := pl.Classifier.(classify.ThresholdCoordinable); ok {
+			sn.thr, sn.glob, sn.hasThr = tc.Threshold(), tc.ThresholdIsGlobal(), true
 		}
-		return shardSnap{sig: sig, clone: ex.Clone()}
+		if h, ok := hint.(explain.Signature); ok && h == sn.sig {
+			return sn
+		}
+		sn.clone = ex.Clone()
+		return sn
 	}
 	go func() {
 		defer close(s.done)
 		stats, err := s.runner.Run()
 		res := &ShardedResult{Stats: stats}
+		res.Shards = newShardBreakdown(finalShardStatuses(stats, classifiers), s.coord, stats.CoordRounds)
 		if err == nil || err == core.ErrStopped {
 			// The final reconciliation goes through the same merger as
 			// live polls: if nothing moved since the last poll (the
@@ -322,6 +521,8 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 		snaps, err := s.runner.Snapshot(hints)
 		if err == nil {
 			live := s.runner.LiveStats()
+			perRS := s.runner.LiveShardStats(nil)
+			rounds := s.runner.LiveCoordRounds()
 			// The merger and the retained snapshots are shared session
 			// state: pollMu keeps each poll's signature check, merge,
 			// and cache refresh atomic, so an epoch bump observed by a
@@ -370,10 +571,32 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 			}
 			cstats := s.merger.Stats()
 			s.pollMu.Unlock()
+			// The live skew breakdown pairs worker load counters with
+			// the thresholds read at snapshot time. A teardown that
+			// raced between the snapshot round and LiveShardStats
+			// leaves the counters empty; the final result carries the
+			// authoritative breakdown, so this poll just omits it.
+			var breakdown *ShardBreakdown
+			if len(perRS) == len(snaps) {
+				per := make([]ShardStatus, len(snaps))
+				for i, v := range snaps {
+					sn := v.(shardSnap)
+					st := ShardStatus{Points: perRS[i].Points, Outliers: perRS[i].Outliers, Threshold: math.NaN()}
+					if st.Points > 0 {
+						st.OutlierRate = float64(st.Outliers) / float64(st.Points)
+					}
+					if sn.hasThr {
+						st.Threshold, st.GlobalThreshold = sn.thr, sn.glob
+					}
+					per[i] = st
+				}
+				breakdown = newShardBreakdown(per, s.coord, rounds)
+			}
 			return &ShardedResult{
-				Stats:        core.StreamStats{RunStats: live},
+				Stats:        core.StreamStats{RunStats: live, CoordRounds: rounds},
 				Explanations: exps,
 				Cache:        cstats,
+				Shards:       breakdown,
 			}, nil
 		}
 		if err != core.ErrNotStreaming {

@@ -93,11 +93,15 @@ func TestShardedStreamOneShardMatchesSequential(t *testing.T) {
 // with manually splitting the stream by the same hash router, running
 // P sequential EWS pipelines with the shard seeds, and merging their
 // summaries — the union semantics RunParallel established, lifted to
-// summary-level merging.
+// summary-level merging. Threshold coordination is disabled: the
+// manual baseline is P independent pipelines with per-shard cutoffs,
+// and coordination rounds fire asynchronously, so the coordinated run
+// would (correctly) diverge from it. This is the bit-exact-equivalence
+// golden for DisableGlobalThreshold.
 func TestShardedStreamMatchesManualPartition(t *testing.T) {
 	const shards = 3
 	d := gen.Devices(gen.DeviceConfig{Points: 90_000, Devices: 600, Seed: 11})
-	cfg := Config{Dims: 1, MinSupport: 0.005, DecayEveryPoints: 15_000, Seed: 3}
+	cfg := Config{Dims: 1, MinSupport: 0.005, DecayEveryPoints: 15_000, Seed: 3, DisableGlobalThreshold: true}
 
 	sharded, err := RunShardedStream(core.NewSliceSource(d.Points), cfg, shards)
 	if err != nil {

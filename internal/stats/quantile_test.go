@@ -170,3 +170,101 @@ func TestRunningMerge(t *testing.T) {
 		t.Errorf("merged (%v, %v) != whole (%v, %v)", a.Mean(), a.Variance(), whole.Mean(), whole.Variance())
 	}
 }
+
+// weightedQuantileBrute is the reference: sort value/weight pairs, walk
+// the cumulative weight, return the first value reaching q of the
+// total.
+func weightedQuantileBrute(xs, ws []float64, q float64) float64 {
+	type pair struct{ x, w float64 }
+	ps := make([]pair, len(xs))
+	for i := range xs {
+		ps[i] = pair{xs[i], ws[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+	total := 0.0
+	for _, p := range ps {
+		total += p.w
+	}
+	target := q * total
+	cum := 0.0
+	for _, p := range ps {
+		cum += p.w
+		if cum >= target {
+			return p.x
+		}
+	}
+	return ps[len(ps)-1].x
+}
+
+func TestWeightedQuantileMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(200)
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			if rng.IntN(4) == 0 {
+				xs[i] = float64(rng.IntN(5)) // force duplicates
+			}
+			ws[i] = rng.Float64() * 3
+			if rng.IntN(8) == 0 {
+				ws[i] = 0 // zero-weight items must not shift the result
+			}
+		}
+		q := rng.Float64()
+		want := weightedQuantileBrute(xs, ws, q)
+		// WeightedQuantile permutes in place; brute force reads copies.
+		got := WeightedQuantile(append([]float64(nil), xs...), append([]float64(nil), ws...), q)
+		if got != want {
+			t.Fatalf("trial %d (n=%d q=%v): got %v, want %v", trial, n, q, got, want)
+		}
+	}
+}
+
+func TestWeightedQuantileUniformWeightsIsOrderStatistic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ws := make([]float64, len(xs))
+	for i := range ws {
+		ws[i] = 2.5
+	}
+	// q = k/n lands exactly on the k-th smallest element.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, k := range []int{1, 25, 50, 99, 101} {
+		q := float64(k) / float64(len(xs))
+		got := WeightedQuantile(append([]float64(nil), xs...), append([]float64(nil), ws...), q)
+		if want := sorted[k-1]; got != want {
+			t.Errorf("q=%v: got %v, want order statistic %v", q, got, want)
+		}
+	}
+}
+
+func TestWeightedQuantileEdges(t *testing.T) {
+	if v := WeightedQuantile(nil, nil, 0.5); !math.IsNaN(v) {
+		t.Errorf("empty input: got %v, want NaN", v)
+	}
+	if v := WeightedQuantile([]float64{1, 2}, []float64{0, 0}, 0.5); !math.IsNaN(v) {
+		t.Errorf("zero total weight: got %v, want NaN", v)
+	}
+	if v := WeightedQuantile([]float64{7}, []float64{3}, 0.99); v != 7 {
+		t.Errorf("singleton: got %v, want 7", v)
+	}
+	// Out-of-range q clamps.
+	if v := WeightedQuantile([]float64{1, 2, 3}, []float64{1, 1, 1}, -1); v != 1 {
+		t.Errorf("q<0: got %v, want 1", v)
+	}
+	if v := WeightedQuantile([]float64{1, 2, 3}, []float64{1, 1, 1}, 2); v != 3 {
+		t.Errorf("q>1: got %v, want 3", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	WeightedQuantile([]float64{1}, []float64{1, 2}, 0.5)
+}
