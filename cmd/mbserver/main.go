@@ -25,6 +25,20 @@
 //	                           points
 //	POST /stream/{id}/stop     halts the session and returns its final
 //	                           result (also DELETE /stream/{id})
+//	GET  /stream/{id}/checkpoint
+//	                           snapshots the session's committed ingest
+//	                           offsets as a versioned JSON blob (and acks
+//	                           them to the source, trimming push replay
+//	                           buffers); 409 when the session has no
+//	                           checkpointable partitions
+//	POST /stream/{id}/checkpoint
+//	                           body: a blob from GET; once the session
+//	                           has terminated, restarts it from the
+//	                           checkpoint — push partitions seek back to
+//	                           the committed offsets and replay the
+//	                           retained unacked tail through a fresh
+//	                           pipeline under the same id (requires a
+//	                           push session started with "replay":true)
 //
 // Push wire formats. NDJSON: one JSON object per record,
 // {"metrics":[...],"attributes":{"col":"value",...},"time":t}. The
@@ -115,6 +129,8 @@ func newMux(reg *streamRegistry) *http.ServeMux {
 	mux.HandleFunc("POST /stream/{id}/push", reg.handlePush)
 	mux.HandleFunc("POST /stream/{id}/stop", reg.handleStop)
 	mux.HandleFunc("DELETE /stream/{id}", reg.handleStop)
+	mux.HandleFunc("GET /stream/{id}/checkpoint", reg.handleCheckpoint)
+	mux.HandleFunc("POST /stream/{id}/checkpoint", reg.handleResume)
 	return mux
 }
 
@@ -233,6 +249,11 @@ type streamStartRequest struct {
 	// only; default = shards). Each partition is an independent
 	// producer lane with its own ordering and backpressure.
 	Partitions int `json:"partitions,omitempty"`
+	// Replay (push sessions only) retains delivered points until a
+	// checkpoint acknowledges them, enabling GET/POST
+	// /stream/{id}/checkpoint at the cost of one copy per delivered
+	// batch plus the retained memory between checkpoints.
+	Replay bool `json:"replay,omitempty"`
 }
 
 // pushInput is the magic QueryConfig.Input selecting push ingestion.
@@ -264,6 +285,11 @@ type streamState struct {
 	schema   ingest.Schema
 	nextPart atomic.Uint64
 	decoders sync.Pool
+
+	// pcfg/shards are retained so POST /stream/{id}/checkpoint can
+	// rebuild the pipeline with the original parameters on resume.
+	pcfg   pipeline.Config
+	shards int
 }
 
 // pushDecoder is one request's decoding scratch, pooled per session:
@@ -387,6 +413,10 @@ func (g *streamRegistry) handleStart(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `partitions requires "input":"push"`, http.StatusBadRequest)
 		return
 	}
+	if req.Replay {
+		http.Error(w, `replay requires "input":"push"`, http.StatusBadRequest)
+		return
+	}
 	id, ok := g.reserve()
 	if !ok {
 		http.Error(w, fmt.Sprintf("too many resident streams (max %d); stop one first", maxSessions), http.StatusTooManyRequests)
@@ -445,13 +475,17 @@ func (g *streamRegistry) startPush(w http.ResponseWriter, req *streamStartReques
 	}
 	enc := encode.NewEncoder(req.Attributes...)
 	src := ingest.NewPush(req.Partitions, pushQueueDepth)
-	sess, err := pipeline.StartPartitionedStream(src, pipelineConfig(&req.QueryConfig), req.Shards)
+	if req.Replay {
+		src.EnableReplay(0)
+	}
+	pcfg := pipelineConfig(&req.QueryConfig)
+	sess, err := pipeline.StartPartitionedStream(src, pcfg, req.Shards)
 	if err != nil {
 		g.release(id)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	g.install(id, &streamState{session: sess, enc: enc, push: src, schema: req.Schema()})
+	g.install(id, &streamState{session: sess, enc: enc, push: src, schema: req.Schema(), pcfg: pcfg, shards: req.Shards})
 	writeJSON(w, map[string]any{"id": id, "shards": req.Shards, "partitions": src.NumPartitions()})
 }
 
@@ -614,6 +648,85 @@ func (st *streamState) decodeNDJSON(body io.Reader, b *core.Batch, d *pushDecode
 	}
 }
 
+// handleCheckpoint snapshots the session's committed ingest offsets
+// (GET /stream/{id}/checkpoint): the returned blob plus the original
+// stream configuration is everything POST needs to resume. Committed
+// offsets are simultaneously acked to the source, so a push session
+// with replay enabled trims its retained points up to the checkpoint.
+// Sessions without checkpointable partitions (CSV sessions over a
+// single reader, push sessions generally being the target) get 409.
+func (g *streamRegistry) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	st, id, ok := g.lookup(r)
+	if !ok {
+		http.Error(w, "unknown stream "+id, http.StatusNotFound)
+		return
+	}
+	ck, err := st.session.Checkpoint()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, ck)
+}
+
+// handleResume restarts a terminated push session from a checkpoint
+// blob (POST /stream/{id}/checkpoint): each partition seeks back to
+// its committed offset and the retained unacked tail replays through a
+// fresh pipeline, installed under the same id. The session must have
+// terminated first (the partitions are otherwise still being consumed)
+// and must have been started with "replay":true — without the replay
+// buffer there is nothing to seek into — both reported as 409.
+func (g *streamRegistry) handleResume(w http.ResponseWriter, r *http.Request) {
+	st, id, ok := g.lookup(r)
+	if !ok {
+		http.Error(w, "unknown stream "+id, http.StatusNotFound)
+		return
+	}
+	if st.push == nil {
+		http.Error(w, "stream "+id+` is not resumable (start it with "input":"push" and "replay":true)`, http.StatusConflict)
+		return
+	}
+	if !st.session.Done() {
+		http.Error(w, "stream "+id+" is still running; resume applies to terminated sessions", http.StatusConflict)
+		return
+	}
+	var ck pipeline.Checkpoint
+	if err := json.NewDecoder(r.Body).Decode(&ck); err != nil {
+		http.Error(w, fmt.Sprintf("parsing checkpoint: %v", err), http.StatusBadRequest)
+		return
+	}
+	sess, err := pipeline.ResumeStream(st.push, st.pcfg, st.shards, &ck)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	nst := &streamState{
+		session: sess,
+		enc:     st.enc,
+		push:    st.push,
+		schema:  st.schema,
+		pcfg:    st.pcfg,
+		shards:  st.shards,
+	}
+	// Swap the registry entry only if it still points at the session we
+	// resumed from; a concurrent stop/delete wins and the fresh session
+	// is torn down rather than leaked.
+	g.mu.Lock()
+	cur, live := g.sessions[id]
+	if live && cur == st {
+		g.sessions[id] = nst
+	} else {
+		live = false
+	}
+	g.mu.Unlock()
+	if !live {
+		sess.Stop()
+		http.Error(w, "stream "+id+" was removed while resuming", http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{"id": id, "shards": nst.shards, "partitions": nst.push.NumPartitions(), "resumed": true})
+}
+
 // lookup fetches a session by path id without removing it. Reserved
 // placeholders (start still in flight) are reported as absent.
 func (g *streamRegistry) lookup(r *http.Request) (*streamState, string, bool) {
@@ -646,6 +759,39 @@ type streamResponse struct {
 	// threshold state, the hot-shard imbalance metric, and the
 	// coordination view (rounds completed, last global cutoff).
 	Shards *pipeline.ShardBreakdown `json:"shards,omitempty"`
+	// Health reports whether the session is running clean or degraded
+	// (a shard worker panicked and was quarantined; the stream keeps
+	// running on the survivors and the explanations cover their share
+	// of the data only).
+	Health healthJSON `json:"health"`
+}
+
+// healthJSON is the poll/stop health block.
+type healthJSON struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// DegradedShards lists quarantined shard indexes.
+	DegradedShards []int `json:"degradedShards,omitempty"`
+	// DroppedPoints totals points routed to dead shards and drained
+	// without processing.
+	DroppedPoints int64 `json:"droppedPoints,omitempty"`
+	// Errors carries each dead shard's failure message.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// healthOf folds a result's failure records into the health block.
+func healthOf(res *pipeline.ShardedResult) healthJSON {
+	h := healthJSON{Status: "ok"}
+	if !res.Degraded {
+		return h
+	}
+	h.Status = "degraded"
+	for _, f := range res.Stats.ShardFailures {
+		h.DegradedShards = append(h.DegradedShards, f.Shard)
+		h.DroppedPoints += f.DroppedPoints
+		h.Errors = append(h.Errors, f.Err)
+	}
+	return h
 }
 
 func (g *streamRegistry) handlePoll(w http.ResponseWriter, r *http.Request) {
@@ -706,6 +852,7 @@ func writeStreamResponse(w http.ResponseWriter, id string, st *streamState, res 
 		Outliers:   res.Stats.Outliers,
 		DecayTicks: res.Stats.DecayTicks,
 		Cache:      res.Cache,
+		Health:     healthOf(res),
 	}
 	if st.push != nil {
 		resp.Ingest = st.push.IngestStats(nil)

@@ -309,4 +309,56 @@
 // (ingest.BinaryRowReader + encode.Encoder.EncodeBytes, whose
 // interned-value lookups never materialize a string) is
 // allocation-free in steady state.
+//
+// # Delivery semantics and failure model
+//
+// The engine's delivery contract is at-least-once per partition, with
+// the partition as the unit of both offset tracking and fault
+// isolation.
+//
+// Offsets and checkpoints. A partition that can name its position
+// implements core.CheckpointablePartition: Offset reports a monotonic
+// per-partition point count after each read, and Ack(offset) tells the
+// source everything below that mark is consumed and may be discarded.
+// core.StreamRunner acks an offset only after every point of the batch
+// that produced it has been routed and taken by a shard worker — never
+// on read — so a crash between read and consume replays those points
+// rather than losing them. pipeline.StreamSession.Checkpoint snapshots
+// the committed offsets into a small versioned JSON blob at any time,
+// including after the run has ended, and pipeline.ResumeStream builds
+// a fresh session that seeks each partition (core.SeekablePartition)
+// back to its committed offset: ingest.Push retains unacked points in
+// a bounded replay log when EnableReplay is set (producers stall at
+// the cap instead of evicting unacked data), and path-opened
+// ingest.PartitionedCSV seeks by reopening its files. mbserver exposes
+// the pair as GET and POST /stream/{id}/checkpoint. Replayed points
+// are re-delivered, not deduplicated — downstream effects must
+// tolerate at-least-once.
+//
+// Transient faults. core.RetryPartition wraps any partition stream
+// with bounded retries under exponential backoff with jitter and an
+// optional per-attempt timeout. Errors are classified by
+// core.IsTransient — core.ErrTransient in the chain, a deadline
+// expiry, or anything exposing Transient() bool — and everything else
+// (including parent-context cancellation) propagates immediately.
+// Retry counts surface per partition in
+// core.StreamStats.Ingest[].Retries.
+//
+// Shard failure. A panic in one shard's operators is contained by that
+// shard's worker: the shard is quarantined, its remaining input is
+// drained and counted as dropped (but still acked, so checkpoints and
+// backpressure never wedge on a dead shard), and the run completes on
+// the survivors. The result is marked rather than silently partial —
+// core.StreamStats.Degraded plus one core.ShardFailure per dead shard,
+// folded by the merge layer into pipeline.ShardedResult and by
+// mbserver into the "health" block of every /stream/{id} response.
+//
+// The model is exercised by a deterministic chaos harness
+// (ingest.ChaosPartition): seeded fault plans inject transient errors,
+// stalls, duplicates, reorders, and torn MBR1 frames into any
+// partition source. The load-bearing property, pinned by tests, is
+// that transient-only fault plans leave delivery order and batch
+// boundaries intact, so a retried run's answer is identical to a
+// fault-free one; examples/firehose exposes the same knobs via -chaos
+// flags.
 package macrobase

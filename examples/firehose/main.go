@@ -25,15 +25,24 @@
 // Run:
 //
 //	go run ./examples/firehose
+//
+// With -chaos, a seeded fault injector sits between the push queues
+// and the engine: a fraction of reads (-chaos-rate, default 1%) fail
+// with transient errors, and a retry layer (core.RetrySource, capped
+// exponential backoff with jitter) absorbs them. The final report is
+// identical to the fault-free run — the per-partition retry counters
+// are the only trace the faults leave.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math/rand/v2"
 	"sync"
 	"time"
 
+	"macrobase/internal/core"
 	"macrobase/internal/encode"
 	"macrobase/internal/ingest"
 	"macrobase/internal/pipeline"
@@ -44,11 +53,22 @@ func main() {
 		partitions = 3
 		shards     = 4
 	)
+	chaos := flag.Bool("chaos", false, "inject seeded transient read faults, absorbed by the retry layer")
+	chaosRate := flag.Float64("chaos-rate", 0.01, "per-read transient fault probability under -chaos")
+	flag.Parse()
+
 	enc := encode.NewEncoder("device", "app_version")
 	versions := []string{"2.25.0", "2.26.0", "2.26.3"}
 
 	src := ingest.NewPush(partitions, 4)
-	sess, err := pipeline.StartPartitionedStream(src, pipeline.Config{
+	var feed core.PartitionedSource = src
+	if *chaos {
+		feed = core.NewRetrySource(
+			ingest.NewChaosSource(src, ingest.ChaosPlan{Seed: 7, TransientErrorRate: *chaosRate}),
+			core.RetryPolicy{Seed: 7},
+		)
+	}
+	sess, err := pipeline.StartPartitionedStream(feed, pipeline.Config{
 		Dims:         1,
 		Percentile:   0.99,
 		MinSupport:   0.05,
@@ -58,6 +78,20 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+
+	// Producers block in SendBatch when the pipeline is behind, so they
+	// need a way out if the engine dies instead of draining (e.g. an
+	// ingest failure under heavy -chaos-rate): this context cancels the
+	// moment the session terminates, turning a would-be deadlock into a
+	// clean producer exit.
+	prodCtx, cancelProds := context.WithCancel(context.Background())
+	defer cancelProds()
+	go func() {
+		for !sess.Done() {
+			time.Sleep(10 * time.Millisecond)
+		}
+		cancelProds()
+	}()
 
 	// N independent producers, one per partition, each with its own
 	// RNG and batch cadence. Each builds its batches through the
@@ -72,7 +106,7 @@ func main() {
 			defer producers.Done()
 			rng := rand.New(rand.NewPCG(uint64(p), 99))
 			pr := src.Producer(p)
-			ctx := context.Background()
+			ctx := prodCtx
 			metrics := make([]float64, 1)
 			attrs := make([]int32, 2)
 			for sent := 0; sent < 60_000; {
@@ -141,8 +175,12 @@ func main() {
 	// stats: how much each partition queued and how long its producer
 	// spent blocked on backpressure.
 	for p, ig := range final.Stats.Ingest {
-		fmt.Printf("partition %d: %d batches / %d points accepted, producer blocked %v total\n",
+		fmt.Printf("partition %d: %d batches / %d points accepted, producer blocked %v total",
 			p, ig.Batches, ig.Points, time.Duration(ig.BlockedNanos))
+		if *chaos {
+			fmt.Printf(", %d reads retried", ig.Retries)
+		}
+		fmt.Println()
 	}
 	// The skew breakdown: per-shard load and threshold state, the
 	// hot-shard imbalance (1.0 = perfectly balanced, P = total skew),

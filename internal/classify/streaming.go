@@ -31,6 +31,14 @@ type StreamingConfig struct {
 	// RetrainEvery retrains the model and recomputes the threshold
 	// after this many points (default 100_000).
 	RetrainEvery int
+	// RetrainOffset advances the schedule once: the first retrain after
+	// warmup counts as if RetrainOffset points had already elapsed, so
+	// the next one fires that much earlier, after which the RetrainEvery
+	// period resumes. The sharded engine staggers its per-shard replicas
+	// with offsets of shard*(RetrainEvery/shards) so P shards never
+	// retrain — and drop their coordinated global threshold — in
+	// lockstep. 0 (the default) leaves the schedule unshifted.
+	RetrainOffset int
 	// WarmupPoints delays the first training until this many points
 	// have been observed (default min(1000, ReservoirSize)).
 	WarmupPoints int
@@ -75,6 +83,12 @@ func (c StreamingConfig) withDefaults() StreamingConfig {
 	if c.DriftMinPoints <= 0 {
 		c.DriftMinPoints = 2000
 	}
+	if c.RetrainOffset < 0 {
+		c.RetrainOffset = 0
+	}
+	if c.RetrainOffset >= c.RetrainEvery {
+		c.RetrainOffset %= c.RetrainEvery
+	}
 	return c
 }
 
@@ -93,6 +107,9 @@ type Streaming struct {
 	model      Scorer
 	threshold  float64
 	sinceTrain int
+	// retrainPhase is the unconsumed RetrainOffset: folded into
+	// sinceTrain at the next retrain, then zero forever after.
+	retrainPhase int
 	// external marks the threshold as coordinator-supplied
 	// (SetGlobalThreshold) rather than locally estimated. While set,
 	// drift detection does not recompute the threshold — under a global
@@ -126,11 +143,12 @@ func NewStreaming(cfg StreamingConfig, trainer Trainer) *Streaming {
 		trainer = AutoTrainer(cfg.Dims, cfg.Seed)
 	}
 	return &Streaming{
-		cfg:      cfg,
-		trainer:  trainer,
-		inputRes: sample.NewADR[[]float64](cfg.ReservoirSize, cfg.DecayRate, sample.NewRNG(cfg.Seed+1)),
-		scoreRes: sample.NewADR[float64](cfg.ScoreReservoirSize, cfg.DecayRate, sample.NewRNG(cfg.Seed+2)),
-		model:    nil,
+		cfg:          cfg,
+		trainer:      trainer,
+		inputRes:     sample.NewADR[[]float64](cfg.ReservoirSize, cfg.DecayRate, sample.NewRNG(cfg.Seed+1)),
+		scoreRes:     sample.NewADR[float64](cfg.ScoreReservoirSize, cfg.DecayRate, sample.NewRNG(cfg.Seed+2)),
+		model:        nil,
+		retrainPhase: cfg.RetrainOffset,
 	}
 }
 
@@ -283,7 +301,8 @@ func (s *Streaming) ClassifyBatch(dst []core.LabeledPoint, batch []core.Point) [
 // score threshold. Training failures (e.g. degenerate samples) keep
 // the previous model.
 func (s *Streaming) retrain() {
-	s.sinceTrain = 0
+	s.sinceTrain = s.retrainPhase
+	s.retrainPhase = 0
 	model, err := s.trainer(s.inputRes.Items())
 	if err != nil {
 		return

@@ -47,6 +47,14 @@ type Batch struct {
 	// borrowed, when non-nil, makes the batch a zero-copy wrapper
 	// around caller-owned points (see Borrow); the slabs are unused.
 	borrowed []Point
+	// ackT/ackOff, when set, tag a routed sub-batch with its source
+	// read's commit-tracking slot: the shard worker calls finishAck
+	// when it is done with the batch, and the partition's committed
+	// offset advances once every sub-batch of the read has. Cleared by
+	// Reset and Put; never set on batches outside the engine's routing
+	// path.
+	ackT   *ackTracker
+	ackOff int64
 }
 
 // NewBatch returns a batch preallocated for pointCap points carrying
@@ -81,6 +89,16 @@ func (b *Batch) Reset() {
 	b.attrs = b.attrs[:0]
 	b.pts = b.pts[:0]
 	b.borrowed = nil
+	b.ackT = nil
+}
+
+// finishAck fires the batch's commit-tracking tag, if any, exactly
+// once: the tag is consumed by the call.
+func (b *Batch) finishAck() {
+	if t := b.ackT; t != nil {
+		b.ackT = nil
+		t.done(b.ackOff)
+	}
 }
 
 // Borrow turns the (empty) batch into a zero-copy wrapper around
@@ -220,8 +238,11 @@ func (p *BatchPool) Put(b *Batch) {
 	}
 	// Drop any borrow now, not at the next Get: an idle pooled wrapper
 	// must not pin the lender's points (and their interior arrays) for
-	// the pool's lifetime.
+	// the pool's lifetime. An unfired ack tag is dropped too — a batch
+	// recycled without finishAck was never consumed, and its read must
+	// stay uncommitted.
 	b.borrowed = nil
+	b.ackT = nil
 	if cap(b.metrics)*8+cap(b.attrs)*4+cap(b.pts)*48 > maxRetainedBatchBytes {
 		return
 	}

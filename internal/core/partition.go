@@ -72,6 +72,10 @@ type PartitionIngestStats struct {
 	PointsPerSec  float64 `json:"pointsPerSec"`
 	BatchesPerSec float64 `json:"batchesPerSec"`
 	BlockedPerSec float64 `json:"blockedPerSec"`
+	// Retries counts retried read attempts when the partition is
+	// wrapped by a RetrySource (zero otherwise): the live measure of
+	// how hard the retry layer is working to keep the stream up.
+	Retries int64 `json:"retries,omitempty"`
 }
 
 // BatchSource is the slab-native form of Source for the sequential

@@ -37,6 +37,32 @@ type StreamStats struct {
 	// cumulative blocked time) when the partitioned source implements
 	// IngestObservable; nil otherwise. Populated when Run returns.
 	Ingest []PartitionIngestStats
+	// Degraded reports that at least one shard worker was quarantined
+	// after a panic: the run completed over the surviving shards, and
+	// ShardFailures describes what was lost. A degraded result is a
+	// partial answer, not a failure — Run still returns a nil error.
+	Degraded bool
+	// ShardFailures lists the quarantined shards (empty when none).
+	ShardFailures []ShardFailure
+	// Committed holds each partition's committed offset at run end
+	// (-1 for partitions without an offset protocol); nil when no
+	// partition is checkpointable. See CommittedOffsets.
+	Committed []int64
+}
+
+// ShardFailure describes one quarantined shard: a worker whose
+// pipeline panicked. The worker survives as a drain-and-drop sink —
+// batches routed to it are counted in DroppedPoints, acknowledged for
+// checkpointing (the points are resolved: they will never be
+// consumed), and recycled — so neither ingest backpressure nor
+// checkpoint progress ever wedges on a dead shard. Snapshot and
+// coordination requests to a quarantined shard are answered with the
+// ShardFailure value itself in place of a summary; merge layers skip
+// such markers and account the shard's contribution as lost.
+type ShardFailure struct {
+	Shard         int    `json:"shard"`
+	Err           string `json:"error"`
+	DroppedPoints int64  `json:"droppedPoints"`
 }
 
 // StreamRunner executes a MacroBase pipeline sharded across P
@@ -143,6 +169,13 @@ type StreamRunner struct {
 	workersMu sync.Mutex // guards workers/quit against end-of-run teardown
 	workers   []*shardWorker
 	quit      chan struct{}
+	// trackMu guards trackers, the per-partition committed-offset
+	// trackers (nil entries for non-checkpointable partitions). Set at
+	// the start of Run and deliberately left in place at teardown so
+	// CommittedOffsets keeps answering after the run — a checkpoint of
+	// a finished session is still meaningful.
+	trackMu  sync.Mutex
+	trackers []*ackTracker
 	// snapWg tracks the post-drain snapshot servers: Run waits for
 	// them after closing quit, so no SnapshotShard call can still be
 	// in flight once Run returns — the caller then owns the shard
@@ -204,7 +237,10 @@ type ShardCoordinator struct {
 	Collect func(shard int, pl ShardPipeline) any
 	// Merge combines the per-shard summaries (indexed by shard, nil
 	// entries included) into the global value. ok=false skips the
-	// round's apply phase (e.g. every summary was empty).
+	// round's apply phase (e.g. every summary was empty). A
+	// quarantined shard's entry is a ShardFailure marker instead of a
+	// Collect result; Merge implementations must skip entries that are
+	// not their own summary type.
 	Merge func(summaries []any) (global any, ok bool)
 	// Apply installs the merged value on shard.
 	Apply func(shard int, pl ShardPipeline, global any)
@@ -237,23 +273,79 @@ type shardWorker struct {
 	// stream is still running.
 	livePoints   atomic.Int64
 	liveOutliers atomic.Int64
+
+	// dead is set when a pipeline panic quarantined this shard; failure
+	// carries the details. failure is written only on the worker
+	// goroutine (recover, failDrop) and read by Run after the
+	// worker/snapshot waits, so it needs no lock of its own.
+	dead    atomic.Bool
+	failure ShardFailure
 }
 
 // consume runs one batch through the pipeline and recycles it. The
-// batch's views die here: nothing downstream may retain them.
+// batch's views die here: nothing downstream may retain them. A panic
+// anywhere in the pipeline quarantines the shard (see failDrop) rather
+// than crashing the run: MacroBase is pitched as always-on, and one
+// shard's corrupt state should cost that shard's contribution, not the
+// whole resident session.
 func (w *shardWorker) consume(b *Batch) {
+	if w.dead.Load() {
+		w.failDrop(b)
+		return
+	}
 	w.livePoints.Add(int64(b.Len()))
-	w.exec.consume(b.Points())
+	func() {
+		defer w.recover()
+		w.exec.consume(b.Points())
+	}()
+	b.finishAck()
 	w.pool.Put(b)
 }
 
-// serve answers one control-plane request on the worker goroutine.
-func (w *shardWorker) serve(req snapshotReq) {
-	if req.fn != nil {
-		req.reply <- req.fn(w.id, w.pl)
+// failDrop disposes of a batch routed to a quarantined shard: the
+// points are dropped (and counted), but the batch still acknowledges
+// its source read and returns to the free list, so ingest backpressure
+// and checkpoint progress never wedge on a dead shard.
+func (w *shardWorker) failDrop(b *Batch) {
+	w.failure.DroppedPoints += int64(b.Len())
+	b.finishAck()
+	w.pool.Put(b)
+}
+
+// recover, deferred around every pipeline entry point on the worker
+// goroutine, turns a panic into a quarantine.
+func (w *shardWorker) recover() {
+	p := recover()
+	if p == nil {
 		return
 	}
-	req.reply <- w.r.SnapshotShard(w.id, w.pl, req.hint)
+	w.failure.Shard = w.id
+	w.failure.Err = fmt.Sprintf("panic: %v", p)
+	w.dead.Store(true)
+}
+
+// serve answers one control-plane request on the worker goroutine.
+// Exactly one reply is always sent — a quarantined shard answers with
+// its ShardFailure marker — so snapshot collectors and the coordinator
+// never block on a dead shard.
+func (w *shardWorker) serve(req snapshotReq) {
+	if w.dead.Load() {
+		req.reply <- w.failure
+		return
+	}
+	var v any
+	func() {
+		defer w.recover()
+		if req.fn != nil {
+			v = req.fn(w.id, w.pl)
+		} else {
+			v = w.r.SnapshotShard(w.id, w.pl, req.hint)
+		}
+	}()
+	if w.dead.Load() {
+		v = w.failure // the hook itself panicked: state is suspect
+	}
+	req.reply <- v
 }
 
 // ErrNotStreaming is returned by Snapshot outside a Run.
@@ -338,6 +430,25 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	r.liveOutliers.Store(0)
 	r.liveTicks.Store(0)
 	r.liveRounds.Store(0)
+	// Commit-offset trackers, one per checkpointable partition, seeded
+	// at the partition's current offset (nonzero on a resumed source).
+	// Installed before ingestion and kept after teardown: a checkpoint
+	// taken off a finished run still answers.
+	trackers := make([]*ackTracker, len(parts))
+	ckparts := make([]CheckpointablePartition, len(parts))
+	anyCk := false
+	for i, ps := range parts {
+		if cp, ok := AsCheckpointable(ps); ok {
+			t := &ackTracker{}
+			t.committed = cp.Offset()
+			trackers[i] = t
+			ckparts[i] = cp
+			anyCk = true
+		}
+	}
+	r.trackMu.Lock()
+	r.trackers = trackers
+	r.trackMu.Unlock()
 	r.quit = make(chan struct{})
 	r.workers = make([]*shardWorker, shards)
 	// One free list serves the whole run: batches circulate
@@ -420,16 +531,16 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 		ingestErr error
 	)
 	workers := r.workers
-	for _, ps := range parts {
+	for pi, ps := range parts {
 		prodWg.Add(1)
-		go func(ps PartitionStream) {
+		go func(ps PartitionStream, tracker *ackTracker, cp CheckpointablePartition) {
 			defer prodWg.Done()
 			// Producers work against this run's worker slice, never
 			// r.workers: after an Abandon, Run tears r.workers down
 			// while an abandoned producer may still be routing a batch
 			// it had already read, and that late send must hit a valid
 			// (if ignored) channel rather than a nil slice.
-			if err := r.ingestPartition(ctx, ps, workers, pool, batch, partition); err != nil {
+			if err := r.ingestPartition(ctx, ps, workers, pool, batch, partition, tracker, cp); err != nil {
 				errMu.Lock()
 				if ingestErr == nil {
 					ingestErr = fmt.Errorf("core: source: %w", err)
@@ -437,7 +548,7 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 				errMu.Unlock()
 				cancel() // a partition failure stops the whole stream
 			}
-		}(ps)
+		}(ps, trackers[pi], ckparts[pi])
 	}
 	prodDone := make(chan struct{})
 	go func() {
@@ -497,6 +608,18 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	r.started.Store(false)
 	close(r.quit)
 	r.snapWg.Wait()
+	// Quarantine accounting happens after the snapshot servers retire:
+	// a shard can still die inside a late snapshot hook, and the
+	// failure list must be complete when Run returns.
+	for _, w := range r.workers {
+		if w.dead.Load() {
+			stats.Degraded = true
+			stats.ShardFailures = append(stats.ShardFailures, w.failure)
+		}
+	}
+	if anyCk {
+		stats.Committed = r.CommittedOffsets(nil)
+	}
 	r.workersMu.Lock()
 	r.workers = nil
 	r.workersMu.Unlock()
@@ -527,7 +650,16 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 // and returns to the run's free list, so the steady-state loop never
 // allocates. Returns a non-nil error only for genuine source failures;
 // cancellation and end-of-stream return nil.
-func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, workers []*shardWorker, pool *BatchPool, batch int, partition func(*Point, int) int) error {
+//
+// When the partition is checkpointable (tracker/cp non-nil), each
+// read is registered with the commit tracker before its sub-batches
+// are sent — registration-before-send is what makes a sub-batch's
+// finishAck unable to race past its own begin — and each sub-batch is
+// tagged so the workers' finishAck calls advance the committed offset.
+// A read abandoned mid-send (cancellation) leaves its tracker entry
+// permanently outstanding, which is correct: the committed offset must
+// not move past points that were never consumed.
+func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, workers []*shardWorker, pool *BatchPool, batch int, partition func(*Point, int) int, tracker *ackTracker, cp CheckpointablePartition) error {
 	shards := len(workers)
 	bp, native := ps.(BatchPartition)
 	var ib *Batch // the read batch for slab-native partitions
@@ -569,6 +701,11 @@ func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, 
 					// whole recycled batch — routing degenerates to a
 					// pointer handoff, no copy at all.
 					r.notePoints(int64(ib.Len()))
+					if tracker != nil {
+						off := cp.Offset()
+						tracker.begin(off, 1)
+						ib.ackT, ib.ackOff = tracker, off
+					}
 					if !send(ctx, workers[0], ib) {
 						return nil // cancelled: defer recycles the undelivered ib
 					}
@@ -609,6 +746,28 @@ func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, 
 			}
 			sb.AppendPoint(&pts[i])
 		}
+		if tracker != nil {
+			// Register the read and tag its sub-batches before any send:
+			// once a worker holds a tagged batch it may finishAck at any
+			// moment, and the begin must already be on the books. After
+			// the flush below every staging slot is nil again, so the
+			// staged non-empty batches are exactly this read's fan-out.
+			off := cp.Offset()
+			k := 0
+			for _, sb := range staging {
+				if sb != nil && sb.Len() > 0 {
+					k++
+				}
+			}
+			if k > 0 {
+				tracker.begin(off, k)
+				for _, sb := range staging {
+					if sb != nil && sb.Len() > 0 {
+						sb.ackT, sb.ackOff = tracker, off
+					}
+				}
+			}
+		}
 		for s, sb := range staging {
 			if sb != nil && sb.Len() > 0 {
 				if !send(ctx, workers[s], sb) {
@@ -618,6 +777,30 @@ func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, 
 			}
 		}
 	}
+}
+
+// CommittedOffsets appends each partition's committed offset — the
+// largest offset whose every point has been routed and consumed (or
+// resolved by a quarantined shard) — to dst and returns it; entries
+// are -1 for partitions without an offset protocol. Safe to call
+// concurrently with Run, and still answering after the run finishes
+// (the final offsets). Returns nil if Run has not yet initialized its
+// partitions this session.
+func (r *StreamRunner) CommittedOffsets(dst []int64) []int64 {
+	r.trackMu.Lock()
+	trackers := r.trackers
+	r.trackMu.Unlock()
+	if trackers == nil {
+		return nil
+	}
+	for _, t := range trackers {
+		if t == nil {
+			dst = append(dst, -1)
+		} else {
+			dst = append(dst, t.get())
+		}
+	}
+	return dst
 }
 
 // send delivers one batch to a shard, or reports false if the run was
@@ -848,7 +1031,14 @@ func (w *shardWorker) run(wg *sync.WaitGroup) {
 		// Flush at drain even when stopped: for a resident
 		// streaming session, stop is the normal termination
 		// and residual windows are still worth explaining.
-		w.exec.flush()
+		// A quarantined shard skips the flush (its state is
+		// suspect), and a flush panic quarantines like any other.
+		if !w.dead.Load() {
+			func() {
+				defer w.recover()
+				w.exec.flush()
+			}()
+		}
 		close(w.done)
 		wg.Done()
 		w.serveSnapshots()

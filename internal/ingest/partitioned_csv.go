@@ -31,6 +31,13 @@ type PartitionedCSV struct {
 
 type csvPartition struct {
 	src *CSVSource
+	// path/schema/enc support SeekTo for path-opened partitions
+	// (OpenPartitionedCSV): resume reopens the file and skips rows.
+	// Reader-backed partitions (path == "") cannot seek.
+	path   string
+	schema Schema
+	enc    *encode.Encoder
+	file   *os.File // the open file behind src, when path-opened
 }
 
 // NextBatch implements core.PartitionStream.
@@ -54,6 +61,54 @@ func (p *csvPartition) NextBatchInto(ctx context.Context, dst *core.Batch, max i
 	return dst, nil
 }
 
+// Offset implements core.CheckpointablePartition: the number of rows
+// (points) delivered so far. Read by the engine before its ingest
+// goroutines start and from the consuming goroutine thereafter.
+func (p *csvPartition) Offset() int64 { return int64(p.src.line) }
+
+// Ack implements core.CheckpointablePartition as a no-op: a CSV file
+// is its own durable replay log, nothing needs trimming.
+func (p *csvPartition) Ack(int64) {}
+
+// SeekTo implements core.SeekablePartition for path-opened partitions
+// by reopening the file and skipping off rows (re-encoding skipped
+// attributes is harmless — encoder interning is idempotent). Call only
+// between sessions, never while a consumer is reading.
+func (p *csvPartition) SeekTo(off int64) error {
+	if off == int64(p.src.line) {
+		return nil
+	}
+	if p.path == "" {
+		return fmt.Errorf("ingest: CSV partition is not seekable (opened from a reader; use OpenPartitionedCSV)")
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return err
+	}
+	src, err := NewCSVSource(f, p.schema, p.enc)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var scratch core.Batch
+	for int64(src.line) < off {
+		n := off - int64(src.line)
+		if n > 8192 {
+			n = 8192
+		}
+		scratch.Reset()
+		if err := src.NextInto(&scratch, int(n)); err != nil {
+			f.Close()
+			return fmt.Errorf("ingest: seeking CSV partition to row %d: %w", off, err)
+		}
+	}
+	if p.file != nil {
+		p.file.Close()
+	}
+	p.src, p.file = src, f
+	return nil
+}
+
 // NewPartitionedCSV builds a partitioned source over readers, one
 // partition each. Every reader must start with a header row naming the
 // schema columns (the usual per-file layout). enc is shared across
@@ -75,29 +130,36 @@ func NewPartitionedCSV(schema Schema, enc *encode.Encoder, readers ...io.Reader)
 
 // OpenPartitionedCSV opens each path as one partition. The returned
 // source owns the files; Close releases them (callers stop the
-// consuming session first).
+// consuming session first). Path-opened partitions are seekable
+// (core.SeekablePartition): a resumed session reopens each file and
+// skips to its checkpointed row.
 func OpenPartitionedCSV(schema Schema, enc *encode.Encoder, paths ...string) (*PartitionedCSV, error) {
 	readers := make([]io.Reader, 0, len(paths))
-	var closers []io.Closer
+	var files []*os.File
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			for _, c := range closers {
+			for _, c := range files {
 				c.Close()
 			}
 			return nil, err
 		}
 		readers = append(readers, f)
-		closers = append(closers, f)
+		files = append(files, f)
 	}
 	p, err := NewPartitionedCSV(schema, enc, readers...)
 	if err != nil {
-		for _, c := range closers {
+		for _, c := range files {
 			c.Close()
 		}
 		return nil, err
 	}
-	p.closers = closers
+	for i, pp := range p.parts {
+		pp.path = paths[i]
+		pp.schema = schema
+		pp.enc = enc
+		pp.file = files[i]
+	}
 	return p, nil
 }
 
@@ -113,8 +175,9 @@ func (p *PartitionedCSV) Partitions() []core.PartitionStream {
 	return out
 }
 
-// Close releases any files opened by OpenPartitionedCSV. Safe to call
-// once the consuming stream has terminated.
+// Close releases any files opened by OpenPartitionedCSV (including
+// files reopened by SeekTo). Safe to call once the consuming stream
+// has terminated.
 func (p *PartitionedCSV) Close() error {
 	var first error
 	for _, c := range p.closers {
@@ -123,9 +186,18 @@ func (p *PartitionedCSV) Close() error {
 		}
 	}
 	p.closers = nil
+	for _, pp := range p.parts {
+		if pp.file != nil {
+			if err := pp.file.Close(); err != nil && first == nil {
+				first = err
+			}
+			pp.file = nil
+		}
+	}
 	return first
 }
 
 var _ core.PartitionedSource = (*PartitionedCSV)(nil)
 var _ core.PartitionedSource = (*Push)(nil)
 var _ core.BatchPartition = (*csvPartition)(nil)
+var _ core.SeekablePartition = (*csvPartition)(nil)

@@ -3,6 +3,8 @@ package ingest
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +89,20 @@ type pushPartition struct {
 	closeOnce sync.Once // lives on the partition: producer handles are cheap copies
 	pool      *core.BatchPool
 
+	// finished is raised by the consumer once it has decided the
+	// partition is at end-of-stream (closed and observed-empty). It is
+	// the close-then-drain race fix: a Send that wins a queue slot
+	// after the consumer's final drain observes finished and reports
+	// ErrProducerClosed instead of silently stranding a "delivered"
+	// batch (see send). Send returning nil therefore guarantees the
+	// consumer received the batch.
+	finished atomic.Bool
+
+	// delivered counts points handed to the consumer — the partition's
+	// checkpoint offset (absolute replay cursor position when replay is
+	// on).
+	delivered atomic.Int64
+
 	// Consumer-side split state (one consumer per partition): a queued
 	// batch larger than the engine's max is served in max-sized copies
 	// out of cur until exhausted, then recycled.
@@ -97,10 +113,34 @@ type pushPartition struct {
 	// the legacy contract's "valid until the next call".
 	legacy *core.Batch
 
+	// Replay state (EnableReplay), guarded by rmu. Dequeued batches are
+	// retained in rlog — a contiguous window of the delivered stream,
+	// addressed by absolute point offsets — and served to the consumer
+	// by copy from the rcur cursor, so SeekTo can rewind delivery to
+	// any retained offset. Ack trims entries wholly below the acked
+	// offset. When retaining another batch would exceed rmax points,
+	// delivery stalls until an Ack frees space (backpressure toward the
+	// checkpointing layer, never silent loss).
+	rmu      sync.Mutex
+	replayOn bool
+	rlog     []replayEntry
+	rend     int64 // absolute offset just past the last retained point
+	rcur     int64 // next absolute offset to deliver
+	rpts     int   // points currently retained
+	rmax     int   // retention cap in points
+	ackCh    chan struct{}
+
 	// Producer-side counters (see core.PartitionIngestStats).
 	blockedNanos atomic.Int64
 	batches      atomic.Int64
 	points       atomic.Int64
+}
+
+// replayEntry is one retained batch and the absolute offset of its
+// first point.
+type replayEntry struct {
+	start int64
+	b     *core.Batch
 }
 
 // NewPush returns a push source with partitions independent producer
@@ -135,6 +175,32 @@ func NewPush(partitions, queueDepth int) *Push {
 
 // NumPartitions reports the partition count.
 func (p *Push) NumPartitions() int { return len(p.parts) }
+
+// EnableReplay switches every partition into replay mode, making the
+// source checkpoint/resume-capable (core.SeekablePartition): delivered
+// batches are retained — up to maxPoints per partition (default 1M) —
+// until acknowledged by a checkpoint, and SeekTo rewinds delivery to
+// any retained offset. The cost is one copy per delivered point (the
+// retained batch cannot be handed to the engine zero-copy, since the
+// engine recycles what it consumes); leave replay off for fire-and-
+// forget streams to keep the zero-copy swap path.
+//
+// When a partition's retention is full, delivery stalls until an Ack
+// trims it: an unchecked checkpoint backlog turns into ingest
+// backpressure rather than dropped replay state.
+//
+// Must be called before the consuming session starts and before any
+// producer sends.
+func (p *Push) EnableReplay(maxPoints int) {
+	if maxPoints <= 0 {
+		maxPoints = 1 << 20
+	}
+	for _, pp := range p.parts {
+		pp.replayOn = true
+		pp.rmax = maxPoints
+		pp.ackCh = make(chan struct{}, 1)
+	}
+}
 
 // Partitions implements core.PartitionedSource. The engine consumes
 // each partition from exactly one ingest goroutine.
@@ -222,21 +288,44 @@ func (p *Push) sampleRates(entries []core.PartitionIngestStats) {
 // larger than max is handed to the engine whole, with dst kept in the
 // source's pool in exchange (the zero-copy ownership swap); an
 // oversized batch is served in max-sized copies. After close, whatever
-// is already queued is drained before ErrEndOfStream.
+// is already queued is drained before ErrEndOfStream. In replay mode
+// every delivery is instead a copy out of the retained log (see
+// EnableReplay).
 func (pp *pushPartition) NextBatchInto(ctx context.Context, dst *core.Batch, max int) (*core.Batch, error) {
+	if pp.replayOn {
+		return pp.nextReplay(ctx, dst, max)
+	}
 	if pp.cur != nil {
 		return pp.serveSplit(dst, max), nil
 	}
+	b, err := pp.dequeue(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return pp.take(b, dst, max), nil
+}
+
+// dequeue takes the next producer batch off the queue, implementing
+// the end-of-stream protocol: after close, drain whatever is queued;
+// once the queue is observed empty, raise finished and drain one final
+// time. The final drain closes the race window — a sender either
+// enqueued before it (and is drained here, now or on a later call) or
+// enqueued after the finished store (and observes finished in send,
+// reporting ErrProducerClosed instead of claiming delivery).
+func (pp *pushPartition) dequeue(ctx context.Context) (*core.Batch, error) {
 	select {
 	case b := <-pp.ch:
-		return pp.take(b, dst, max), nil
+		return b, nil
 	case <-pp.closed:
-		// Close raced queued data: drain before signaling the end. A
-		// Send that loses the race and buffers after this drain sees
-		// its batch dropped, which the Send contract documents.
 		select {
 		case b := <-pp.ch:
-			return pp.take(b, dst, max), nil
+			return b, nil
+		default:
+		}
+		pp.finished.Store(true)
+		select {
+		case b := <-pp.ch:
+			return b, nil
 		default:
 			return nil, core.ErrEndOfStream
 		}
@@ -249,6 +338,7 @@ func (pp *pushPartition) NextBatchInto(ctx context.Context, dst *core.Batch, max
 // the pool) when it fits max, split otherwise.
 func (pp *pushPartition) take(b *core.Batch, dst *core.Batch, max int) *core.Batch {
 	if b.Len() <= max {
+		pp.delivered.Add(int64(b.Len()))
 		pp.pool.Put(dst)
 		return b
 	}
@@ -265,12 +355,127 @@ func (pp *pushPartition) serveSplit(dst *core.Batch, max int) *core.Batch {
 		end = len(pts)
 	}
 	dst.AppendPoints(pts[pp.off:end])
+	pp.delivered.Add(int64(end - pp.off))
 	pp.off = end
 	if pp.off >= len(pts) {
 		pp.pool.Put(pp.cur)
 		pp.cur, pp.off = nil, 0
 	}
 	return dst
+}
+
+// nextReplay is the replay-mode delivery path: serve from the retained
+// log at the cursor, refilling the log from the queue when the cursor
+// catches up, and stalling on a full log until an Ack trims it.
+func (pp *pushPartition) nextReplay(ctx context.Context, dst *core.Batch, max int) (*core.Batch, error) {
+	for {
+		pp.rmu.Lock()
+		if pp.rcur < pp.rend {
+			b := pp.serveReplay(dst, max)
+			pp.rmu.Unlock()
+			return b, nil
+		}
+		full := pp.rpts >= pp.rmax
+		pp.rmu.Unlock()
+		if full {
+			// Nothing left to serve and no room to retain more:
+			// backpressure until a checkpoint acknowledges (and trims)
+			// part of the log.
+			select {
+			case <-pp.ackCh:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		b, err := pp.dequeue(ctx)
+		if err != nil {
+			return nil, err
+		}
+		pp.rmu.Lock()
+		pp.rlog = append(pp.rlog, replayEntry{start: pp.rend, b: b})
+		pp.rend += int64(b.Len())
+		pp.rpts += b.Len()
+		pp.rmu.Unlock()
+	}
+}
+
+// serveReplay copies the next at-most-max points at the cursor into
+// dst — at most one retained entry's worth per call (the engine
+// tolerates short batches). Caller holds rmu, and rcur < rend.
+func (pp *pushPartition) serveReplay(dst *core.Batch, max int) *core.Batch {
+	i := sort.Search(len(pp.rlog), func(i int) bool {
+		e := &pp.rlog[i]
+		return e.start+int64(e.b.Len()) > pp.rcur
+	})
+	e := &pp.rlog[i]
+	pts := e.b.Points()
+	from := int(pp.rcur - e.start)
+	to := from + max
+	if to > len(pts) {
+		to = len(pts)
+	}
+	dst.AppendPoints(pts[from:to])
+	pp.rcur += int64(to - from)
+	pp.delivered.Store(pp.rcur)
+	return dst
+}
+
+// Offset implements core.CheckpointablePartition: the number of points
+// delivered to the consumer so far.
+func (pp *pushPartition) Offset() int64 { return pp.delivered.Load() }
+
+// Ack implements core.CheckpointablePartition: in replay mode, retained
+// batches wholly below off are trimmed (and a stalled consumer woken);
+// with replay off it is a no-op. Safe to call from any goroutine.
+func (pp *pushPartition) Ack(off int64) {
+	if !pp.replayOn {
+		return
+	}
+	pp.rmu.Lock()
+	for len(pp.rlog) > 0 {
+		e := pp.rlog[0]
+		if e.start+int64(e.b.Len()) > off {
+			break
+		}
+		pp.rpts -= e.b.Len()
+		pp.pool.Put(e.b)
+		pp.rlog[0] = replayEntry{} // release the reference behind the window
+		pp.rlog = pp.rlog[1:]
+	}
+	if len(pp.rlog) == 0 {
+		pp.rlog = nil // let the drifted backing array go
+	}
+	pp.rmu.Unlock()
+	if pp.ackCh != nil {
+		select {
+		case pp.ackCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// SeekTo implements core.SeekablePartition: rewind delivery so the
+// next point served is absolute offset off. Only offsets still
+// retained in the replay log (not yet acked) can be seeked to;
+// requires EnableReplay. Call only while no consumer is reading (i.e.
+// between sessions — resume-time repositioning).
+func (pp *pushPartition) SeekTo(off int64) error {
+	if !pp.replayOn {
+		return errors.New("ingest: push partition is not seekable (call Push.EnableReplay before streaming)")
+	}
+	pp.rmu.Lock()
+	defer pp.rmu.Unlock()
+	lo := pp.rend
+	if len(pp.rlog) > 0 {
+		lo = pp.rlog[0].start
+	}
+	if off < lo || off > pp.rend {
+		return fmt.Errorf("ingest: cannot seek push partition to offset %d: retained range is [%d, %d] (earlier points were acked)", off, lo, pp.rend)
+	}
+	pp.rcur = off
+	pp.delivered.Store(off)
+	return nil
 }
 
 // NextBatch implements core.PartitionStream for consumers that want
@@ -308,14 +513,16 @@ func (pr *PushProducer) PutBatch(b *core.Batch) { pr.part.pool.Put(b) }
 
 // SendBatch queues one loaned batch, blocking while the partition's
 // queue is full (backpressure). Ownership of b always transfers —
-// delivered, recycled, or dropped — so the caller must not touch it
+// delivered, recycled, or abandoned — so the caller must not touch it
 // after the call regardless of the result. Returns ErrProducerClosed
 // after Close, and ctx.Err() if the context expires while blocked; in
 // both failure cases the batch was not delivered. A SendBatch racing
-// Close may occasionally win the queue slot; such a batch is delivered
-// if the consumer has not yet observed end-of-stream and silently
-// dropped otherwise — close the producer only once its sends have
-// returned for exact accounting.
+// Close is resolved exactly one way or the other: a nil return means
+// the consumer received the batch, an error means it did not — except
+// that a batch enqueued in the narrow window around the consumer's
+// final drain may be delivered AND reported ErrProducerClosed, the
+// at-least-once ambiguity a retrying producer resolves as a duplicate,
+// never a loss.
 func (pr *PushProducer) SendBatch(ctx context.Context, b *core.Batch) error {
 	if b == nil || b.Len() == 0 {
 		pr.part.pool.Put(b)
@@ -350,6 +557,15 @@ func (pr *PushProducer) SendPoint(ctx context.Context, pt core.Point) error {
 // send enqueues b, metering the time spent blocked on a full queue.
 // The point count is read before the channel send: after a successful
 // send the consumer owns b and may already be resetting it.
+//
+// The post-enqueue finished check closes the close-then-drain race: if
+// the consumer had already concluded end-of-stream when this batch won
+// its queue slot, the batch will never be consumed, so the send must
+// not claim success. (The converse race — enqueue before the consumer's
+// final drain, finished observed true anyway — can misreport a
+// delivered batch as failed; that is the at-least-once direction, and a
+// retrying producer then duplicates rather than loses. Send nil means
+// delivered, always.)
 func (pp *pushPartition) send(ctx context.Context, b *core.Batch) error {
 	select {
 	case <-pp.closed:
@@ -358,30 +574,42 @@ func (pp *pushPartition) send(ctx context.Context, b *core.Batch) error {
 	default:
 	}
 	n := int64(b.Len())
+	enqueued := false
+	var blocked time.Duration
 	select {
 	case pp.ch <- b:
-		pp.batches.Add(1)
-		pp.points.Add(n)
-		return nil
+		enqueued = true
 	default:
 	}
-	// Queue full: block, and meter how long (the backpressure signal).
-	start := time.Now()
-	select {
-	case pp.ch <- b:
-		pp.blockedNanos.Add(time.Since(start).Nanoseconds())
-		pp.batches.Add(1)
-		pp.points.Add(n)
-		return nil
-	case <-pp.closed:
-		pp.blockedNanos.Add(time.Since(start).Nanoseconds())
-		pp.pool.Put(b)
-		return ErrProducerClosed
-	case <-ctx.Done():
-		pp.blockedNanos.Add(time.Since(start).Nanoseconds())
-		pp.pool.Put(b)
-		return ctx.Err()
+	if !enqueued {
+		// Queue full: block, and meter how long (the backpressure
+		// signal).
+		start := time.Now()
+		select {
+		case pp.ch <- b:
+			blocked = time.Since(start)
+			enqueued = true
+		case <-pp.closed:
+			pp.blockedNanos.Add(time.Since(start).Nanoseconds())
+			pp.pool.Put(b)
+			return ErrProducerClosed
+		case <-ctx.Done():
+			pp.blockedNanos.Add(time.Since(start).Nanoseconds())
+			pp.pool.Put(b)
+			return ctx.Err()
+		}
 	}
+	if blocked > 0 {
+		pp.blockedNanos.Add(blocked.Nanoseconds())
+	}
+	if pp.finished.Load() {
+		// The consumer is gone; the batch sits abandoned in the queue
+		// (reclaimed with the source) and was not delivered.
+		return ErrProducerClosed
+	}
+	pp.batches.Add(1)
+	pp.points.Add(n)
+	return nil
 }
 
 // Close marks the partition finished: queued batches still drain, then
@@ -393,4 +621,5 @@ func (pr *PushProducer) Close() {
 }
 
 var _ core.BatchPartition = (*pushPartition)(nil)
+var _ core.SeekablePartition = (*pushPartition)(nil)
 var _ core.IngestObservable = (*Push)(nil)

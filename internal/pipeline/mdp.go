@@ -80,6 +80,16 @@ type Config struct {
 	// already computes the global quantile) and for custom classifiers
 	// that do not implement classify.ThresholdCoordinable.
 	CoordinateEvery int
+	// DisableRetrainStagger turns off the staggered per-shard retrain
+	// schedule that coordinated multi-shard runs apply by default (shard
+	// i's first retrain is advanced by i*(RetrainEvery/shards)).
+	// Staggering exists because a retrain drops that shard's coordinated
+	// global threshold until the next coordination round; in lockstep,
+	// every shard falls back to its local cutoff simultaneously,
+	// reopening the skew-drift window coordination closes. Disable it
+	// only to reproduce the lockstep behavior of earlier versions.
+	// Irrelevant (and inactive) when coordination itself is off.
+	DisableRetrainStagger bool
 	// DisableGlobalThreshold turns coordination off, restoring the
 	// pre-coordination per-shard percentile cutoffs. Set it when
 	// bit-exact reproducibility across runs matters more than answer
@@ -144,7 +154,7 @@ func RunStreaming(src core.Source, cfg Config) (*Result, error) {
 	// Shard 0 of a sharded run and a sequential run build identical
 	// operators (the shard-seed offset is zero), so the construction
 	// is shared and the two paths cannot drift apart.
-	pl := newShardPipeline(cfg, 0)
+	pl := newShardPipeline(cfg, 0, 1)
 	r := core.Runner{
 		Source:     src,
 		Transforms: pl.Transforms,

@@ -33,6 +33,12 @@ type ShardedResult struct {
 	// Nil only when a live poll races stream termination (the final
 	// result then carries it).
 	Shards *ShardBreakdown
+	// Degraded reports that at least one shard worker died mid-run (a
+	// panic inside its operators) and was quarantined: the stream kept
+	// running and this result reflects the surviving shards only.
+	// Details are in Stats.ShardFailures and the per-shard Error fields
+	// under Shards.
+	Degraded bool
 }
 
 // ShardStatus is one shard's entry in the skew breakdown.
@@ -49,6 +55,12 @@ type ShardStatus struct {
 	// GlobalThreshold reports whether the cutoff came from cross-shard
 	// coordination rather than the shard's local percentile estimate.
 	GlobalThreshold bool `json:"globalThreshold"`
+	// Error is the shard's failure message when it was quarantined
+	// after a panic (empty for healthy shards).
+	Error string `json:"error,omitempty"`
+	// DroppedPoints counts points routed to this shard after it died,
+	// drained without processing so the stream never wedges.
+	DroppedPoints int64 `json:"droppedPoints,omitempty"`
 }
 
 // ShardBreakdown surfaces the skew that per-shard thresholds used to
@@ -71,6 +83,9 @@ type ShardBreakdown struct {
 	// GlobalCutoff is the last merged global threshold (NaN before the
 	// first round or with coordination off).
 	GlobalCutoff float64 `json:"globalCutoff"`
+	// Degraded mirrors ShardedResult.Degraded for JSON consumers of the
+	// breakdown alone: true when any PerShard entry carries an Error.
+	Degraded bool `json:"degraded"`
 }
 
 // coordState is the session-visible side of threshold coordination:
@@ -106,7 +121,19 @@ func newCoordState(cfg Config, shards int) *coordState {
 // one-shard execution identical to RunStreaming. A caller-supplied
 // Classifier or Transforms (legal only with one shard) is installed
 // verbatim; a NewClassifier factory builds one replica per shard.
-func newShardPipeline(cfg Config, shard int) core.ShardPipeline {
+//
+// Coordinated multi-shard runs additionally stagger the default
+// classifiers' retrain schedules by shard*(RetrainEvery/shards): a
+// retrain drops the shard's coordinated global threshold until the next
+// coordination round, and with all P shards retraining in lockstep the
+// whole fleet fell back to local cutoffs at once — the skew-drift
+// window coordination exists to close. Staggering keeps at most one
+// shard inside that window at a time. The stagger is off exactly when
+// coordination is off (it exists to protect the global threshold, and
+// keeping uncoordinated runs unshifted preserves their bit-exact
+// equivalence to RunStreaming per shard) or when DisableRetrainStagger
+// is set.
+func newShardPipeline(cfg Config, shard, shards int) core.ShardPipeline {
 	pl := core.ShardPipeline{
 		Transforms: cfg.Transforms,
 		Classifier: cfg.Classifier,
@@ -124,6 +151,10 @@ func newShardPipeline(cfg Config, shard int) core.ShardPipeline {
 		pl.Classifier = cfg.NewClassifier(shard)
 	}
 	if pl.Classifier == nil {
+		retrainOffset := 0
+		if shards > 1 && !cfg.DisableRetrainStagger && !cfg.DisableGlobalThreshold && cfg.CoordinateEvery > 0 {
+			retrainOffset = shard * (cfg.RetrainEvery / shards)
+		}
 		pl.Classifier = classify.NewStreaming(classify.StreamingConfig{
 			Dims:               cfg.Dims,
 			ReservoirSize:      cfg.ReservoirSize,
@@ -131,6 +162,7 @@ func newShardPipeline(cfg Config, shard int) core.ShardPipeline {
 			DecayRate:          cfg.DecayRate,
 			Percentile:         cfg.Percentile,
 			RetrainEvery:       cfg.RetrainEvery,
+			RetrainOffset:      retrainOffset,
 			Seed:               cfg.Seed + uint64(shard)*7919,
 		}, cfg.Trainer)
 	}
@@ -179,7 +211,7 @@ func newStreamRunner(src core.Source, parts core.PartitionedSource, cfg Config, 
 		Partitioned: parts,
 		Shards:      shards,
 		NewShard: func(shard int) core.ShardPipeline {
-			pl := newShardPipeline(cfg, shard)
+			pl := newShardPipeline(cfg, shard, shards)
 			explainers[shard] = pl.Explainer.(*explain.Streaming)
 			classifiers[shard] = pl.Classifier
 			return pl
@@ -249,6 +281,16 @@ func finalShardStatuses(stats core.StreamStats, classifiers []core.Classifier) [
 		}
 		per[i] = st
 	}
+	for _, f := range stats.ShardFailures {
+		if f.Shard >= 0 && f.Shard < len(per) {
+			per[f.Shard].Error = f.Err
+			per[f.Shard].DroppedPoints = f.DroppedPoints
+			// A dead shard's classifier state is whatever the panic left
+			// behind; don't report its threshold as live.
+			per[f.Shard].Threshold = math.NaN()
+			per[f.Shard].GlobalThreshold = false
+		}
+	}
 	return per
 }
 
@@ -268,6 +310,9 @@ func newShardBreakdown(per []ShardStatus, coord *coordState, rounds int) *ShardB
 	}
 	total := 0
 	for _, s := range per {
+		if s.Error != "" {
+			b.Degraded = true
+		}
 		total += s.Points
 	}
 	if total > 0 {
@@ -281,6 +326,30 @@ func newShardBreakdown(per []ShardStatus, coord *coordState, rounds int) *ShardB
 		b.Imbalance = maxShare * float64(len(per))
 	}
 	return b
+}
+
+// liveExplainers drops quarantined shards' explainers before a merge:
+// a shard that died mid-batch left its summary in whatever state the
+// panic interrupted, so the reconciled explanation set is computed over
+// the surviving shards only (the hash router concentrates each
+// attribute combination on one shard, so survivors' combinations are
+// unaffected — the dead shard's share of the answer is missing, not
+// corrupted, which is what Degraded signals).
+func liveExplainers(explainers []*explain.Streaming, failures []core.ShardFailure) []*explain.Streaming {
+	if len(failures) == 0 {
+		return explainers
+	}
+	dead := make(map[int]bool, len(failures))
+	for _, f := range failures {
+		dead[f.Shard] = true
+	}
+	out := make([]*explain.Streaming, 0, len(explainers))
+	for i, ex := range explainers {
+		if !dead[i] {
+			out = append(out, ex)
+		}
+	}
+	return out
 }
 
 // RunShardedStream executes MDP in exponentially weighted streaming
@@ -332,9 +401,10 @@ func runSharded(src core.Source, parts core.PartitionedSource, cfg Config, shard
 	merger := explain.NewPollMerger()
 	return &ShardedResult{
 		Stats:        stats,
-		Explanations: merger.Merge(explainers),
+		Explanations: merger.Merge(liveExplainers(explainers, stats.ShardFailures)),
 		Cache:        merger.Stats(),
 		Shards:       newShardBreakdown(finalShardStatuses(stats, classifiers), coord, stats.CoordRounds),
+		Degraded:     stats.Degraded,
 	}, nil
 }
 
@@ -374,6 +444,17 @@ type StreamSession struct {
 	// coord is the coordination view shared with the runner's merge
 	// closure; pollers read the last global cutoff from it.
 	coord *coordState
+
+	// fails records quarantined shards observed by live polls (snapshot
+	// rounds answer for a dead shard with its core.ShardFailure marker).
+	// Guarded by pollMu.
+	fails map[int]core.ShardFailure
+
+	// ckParts are the checkpointable views of the session's ingest
+	// partitions — nil entries for partitions without offsets, nil slice
+	// for legacy-source sessions. Checkpoint Acks through them; they are
+	// the same partition objects the runner reads (see stableParts).
+	ckParts []core.CheckpointablePartition
 
 	mu    sync.Mutex
 	final *ShardedResult
@@ -420,6 +501,16 @@ func startSession(src core.Source, parts core.PartitionedSource, cfg Config, sha
 		merger: explain.NewPollMerger(),
 		elide:  !cfg.DisableExplainCache,
 	}
+	if parts != nil {
+		// Pin the partition list so the session's checkpoint layer Acks
+		// and seeks the very stream objects the runner reads.
+		sp, ok := parts.(*stableParts)
+		if !ok {
+			sp = newStableParts(parts)
+		}
+		parts = sp
+		s.ckParts = checkpointableViews(sp.Partitions())
+	}
 	explainers := make([]*explain.Streaming, shards)
 	classifiers := make([]core.Classifier, shards)
 	s.coord = newCoordState(cfg, shards)
@@ -446,8 +537,9 @@ func startSession(src core.Source, parts core.PartitionedSource, cfg Config, sha
 	go func() {
 		defer close(s.done)
 		stats, err := s.runner.Run()
-		res := &ShardedResult{Stats: stats}
+		res := &ShardedResult{Stats: stats, Degraded: stats.Degraded}
 		res.Shards = newShardBreakdown(finalShardStatuses(stats, classifiers), s.coord, stats.CoordRounds)
+		explainers = liveExplainers(explainers, stats.ShardFailures)
 		if err == nil || err == core.ErrStopped {
 			// The final reconciliation goes through the same merger as
 			// live polls: if nothing moved since the last poll (the
@@ -531,22 +623,36 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 			// elided marker always pairs with the retained snapshot it
 			// was hinted from (or a newer, equally consistent one).
 			s.pollMu.Lock()
-			explainers := make([]*explain.Streaming, len(snaps))
+			explainers := make([]*explain.Streaming, 0, len(snaps))
 			elided := 0
 			stale := false
 			for i, v := range snaps {
+				if f, ok := v.(core.ShardFailure); ok {
+					// The shard died: record it, drop its retained
+					// snapshot, and merge over the survivors (the merged
+					// signature count changes, so the poll cache takes a
+					// full re-mine rather than serving a stale hit).
+					if s.fails == nil {
+						s.fails = make(map[int]core.ShardFailure)
+					}
+					s.fails[i] = f
+					if i < len(s.have) {
+						s.snaps[i], s.have[i] = nil, false
+					}
+					continue
+				}
 				sn := v.(shardSnap)
 				if sn.clone != nil {
 					if s.elide {
 						s.retain(i, sn.sig, sn.clone)
 					}
-					explainers[i] = sn.clone
+					explainers = append(explainers, sn.clone)
 				} else if i < len(s.snaps) && s.have[i] {
 					// Elision is only offered when a hint was sent, and
 					// hints are only sent for retained shards, so the
 					// retained snapshot is normally present.
 					elided++
-					explainers[i] = s.snaps[i]
+					explainers = append(explainers, s.snaps[i])
 				} else {
 					// The stream terminated between our snapshot round
 					// and this merge, and the final reconciliation
@@ -570,6 +676,15 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 				exps = s.merger.Merge(explainers)
 			}
 			cstats := s.merger.Stats()
+			var failList []core.ShardFailure
+			if len(s.fails) > 0 {
+				failList = make([]core.ShardFailure, 0, len(s.fails))
+				for i := range snaps {
+					if f, ok := s.fails[i]; ok {
+						failList = append(failList, f)
+					}
+				}
+			}
 			s.pollMu.Unlock()
 			// The live skew breakdown pairs worker load counters with
 			// the thresholds read at snapshot time. A teardown that
@@ -580,12 +695,13 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 			if len(perRS) == len(snaps) {
 				per := make([]ShardStatus, len(snaps))
 				for i, v := range snaps {
-					sn := v.(shardSnap)
 					st := ShardStatus{Points: perRS[i].Points, Outliers: perRS[i].Outliers, Threshold: math.NaN()}
 					if st.Points > 0 {
 						st.OutlierRate = float64(st.Outliers) / float64(st.Points)
 					}
-					if sn.hasThr {
+					if f, ok := v.(core.ShardFailure); ok {
+						st.Error, st.DroppedPoints = f.Err, f.DroppedPoints
+					} else if sn := v.(shardSnap); sn.hasThr {
 						st.Threshold, st.GlobalThreshold = sn.thr, sn.glob
 					}
 					per[i] = st
@@ -593,10 +709,16 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 				breakdown = newShardBreakdown(per, s.coord, rounds)
 			}
 			return &ShardedResult{
-				Stats:        core.StreamStats{RunStats: live, CoordRounds: rounds},
+				Stats: core.StreamStats{
+					RunStats:      live,
+					CoordRounds:   rounds,
+					Degraded:      len(failList) > 0,
+					ShardFailures: failList,
+				},
 				Explanations: exps,
 				Cache:        cstats,
 				Shards:       breakdown,
+				Degraded:     len(failList) > 0,
 			}, nil
 		}
 		if err != core.ErrNotStreaming {

@@ -134,7 +134,7 @@ func TestShardedStreamMatchesManualPartition(t *testing.T) {
 	}
 	explainers := make([]*explain.Streaming, shards)
 	for s := 0; s < shards; s++ {
-		pl := newShardPipeline(pcfg, s)
+		pl := newShardPipeline(pcfg, s, shards)
 		r := core.Runner{
 			Source:     &batchSource{batches: parts[s]},
 			Classifier: pl.Classifier,
