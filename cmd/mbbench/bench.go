@@ -126,6 +126,55 @@ func microBenchmarks() []benchResult {
 		}
 	}
 
+	// Steady-drift batches for the delta-mine kernels: small mixed
+	// batches, each guaranteed to move the outlier side so every poll
+	// has to refresh the mined table.
+	var driftOut, driftIn []core.LabeledPoint
+	for _, bt := range batches {
+		for i := range bt {
+			if bt[i].Label == core.Outlier {
+				driftOut = append(driftOut, bt[i])
+			} else if len(driftIn) < 4096 {
+				driftIn = append(driftIn, bt[i])
+			}
+		}
+	}
+	drift := make([][]core.LabeledPoint, 64)
+	for i := range drift {
+		d := make([]core.LabeledPoint, 0, 4)
+		for j := 0; j < 2; j++ {
+			d = append(d, driftOut[(2*i+j)%len(driftOut)])
+		}
+		for j := 0; j < 2; j++ {
+			d = append(d, driftIn[(2*i+j)%len(driftIn)])
+		}
+		drift[i] = d
+	}
+	// steadyDrift measures the per-poll cost under continuous small
+	// drift at steady state: every op moves the outlier side and polls,
+	// and the explainer is reset (untimed) to the same warm snapshot
+	// every len(drift) ops so per-op cost reflects the 60K-point
+	// working set, not b.N-dependent stream growth.
+	steadyDrift := func(cfg explain.StreamingConfig) func(b *testing.B) {
+		return func(b *testing.B) {
+			base := warmExplainer(cfg, batches)
+			base.Explanations()
+			var s *explain.Streaming
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%len(drift) == 0 {
+					b.StopTimer()
+					s = base.Clone()
+					b.StartTimer()
+				}
+				s.Consume(drift[i%len(drift)])
+				s.Explanations()
+			}
+		}
+	}
+	noDeltaCfg := benchExplainCfg
+	noDeltaCfg.DisableDeltaMine = true
+
 	results := []benchResult{
 		runKernel("StreamingExplain/consume", func(b *testing.B) {
 			s := explain.NewStreaming(benchExplainCfg)
@@ -161,6 +210,13 @@ func microBenchmarks() []benchResult {
 				s.Explanations()
 			}
 		}),
+		// Continuous small drift: every op moves the outlier side by a
+		// few points and polls, so each poll must refresh the mined
+		// table. With the journal this is a delta update over the
+		// changed paths; the -full twin disables delta mining and pays a
+		// full FPGrowth re-mine per poll. Their ratio is the delta win.
+		runKernel("DeltaMine/steady-drift", steadyDrift(benchExplainCfg)),
+		runKernel("DeltaMine/steady-drift-full", steadyDrift(noDeltaCfg)),
 		runKernel("PushIngest/p3s4", func(b *testing.B) {
 			// Ingest-throughput kernel for the push-partitioned path:
 			// 3 concurrent producers feed a resident 4-shard session
@@ -180,6 +236,17 @@ func microBenchmarks() []benchResult {
 			}, 4)
 			if err != nil {
 				panic(err)
+			}
+			// Warm the resident session past its growth phase (tree
+			// slabs, sketch tables, ack windows all reach steady size)
+			// so the timed section measures the per-batch path, not
+			// amortized startup growth.
+			warmCtx := context.Background()
+			warmPr := src.Producer(0)
+			for i := 0; i < 2*len(batches); i++ {
+				if err := warmPr.Send(warmCtx, batches[i%len(batches)]); err != nil {
+					panic(err)
+				}
 			}
 			b.ResetTimer()
 			var wg sync.WaitGroup

@@ -858,25 +858,10 @@ func writeStreamResponse(w http.ResponseWriter, id string, st *streamState, res 
 		resp.Ingest = st.push.IngestStats(nil)
 	}
 	resp.Explanations = explanationsJSON(exps)
-	resp.Shards = shardsJSON(res.Shards)
+	// The breakdown types marshal their own NaN/±Inf fields safely
+	// (pipeline.ShardBreakdown.MarshalJSON), so no scrubbing pass here.
+	resp.Shards = res.Shards
 	writeJSON(w, resp)
-}
-
-// shardsJSON sanitizes the shard breakdown for JSON: thresholds can be
-// +Inf (warmup) or NaN (custom classifier), and the global cutoff is
-// NaN before the first coordination round; encoding/json rejects both.
-func shardsJSON(b *pipeline.ShardBreakdown) *pipeline.ShardBreakdown {
-	if b == nil {
-		return nil
-	}
-	out := *b
-	out.GlobalCutoff = jsonSafe(out.GlobalCutoff)
-	out.PerShard = make([]pipeline.ShardStatus, len(b.PerShard))
-	for i, s := range b.PerShard {
-		s.Threshold = jsonSafe(s.Threshold)
-		out.PerShard[i] = s
-	}
-	return &out
 }
 
 // jsonSafe maps the +Inf risk ratio of combinations absent from the

@@ -163,10 +163,11 @@
 //     If only the inlier side moved — the common case under a
 //     mostly-inlier stream — the cached mined itemset table is reused
 //     (same outTree epoch, same threshold) and only support counting,
-//     risk-ratio filtering, and ranking rerun. Any outlier-side
-//     movement (new outliers, a decay-tick restructure) triggers a
-//     full re-mine, so full mines happen at most once per outlier
-//     batch or decay tick.
+//     risk-ratio filtering, and ranking rerun. Outlier-side movement
+//     by plain inserts is served by a journal delta update (see the
+//     next section); only movement the journal cannot describe — a
+//     decay-tick restructure, a merge, an overflowed journal — pays a
+//     full re-mine.
 //
 //   - Sharded polls. explain.PollMerger carries the cache across a
 //     session's merged polls: per-shard signatures (explain.Signature,
@@ -187,7 +188,68 @@
 // (fptree.BuildInto, fptree.Miner), so a steady-state mine allocates
 // only its output itemsets. Regression cover: cmd/mbbench -bench
 // measures the hot-path kernels and -compare fails CI on >2x ns/op or
-// allocs/op inflation against the committed BENCH_PR6.json baseline.
+// allocs/op inflation against the committed BENCH_PR8.json baseline.
+//
+// # Delta mining and early-exit ranking
+//
+// The mined-table reuse above still re-mined from scratch whenever the
+// outlier side moved at all — the worst fit for the common steady
+// state of a monitored stream, where every poll interval sees a few
+// new outliers. Two mechanisms close that gap:
+//
+//   - Changed-path journal. cps.Tree keeps a bounded journal of the
+//     post-filter item paths inserted since the last re-anchor
+//     (cps.EnableJournal / JournalSince / ResetJournal). Restructure
+//     and Merge rewrite the tree wholesale, which no path list can
+//     describe, so they invalidate the journal; breaching the path or
+//     item caps marks it overflowed. An itemset's support changes only
+//     if it is a subset of some journaled path, so a valid journal is
+//     a complete description of which table entries may have moved.
+//
+//   - Delta table update. When the outlier tree moved by plain inserts
+//     and the journal is valid, explain.Streaming updates the cached
+//     table instead of re-mining: untouched entries keep their counts
+//     verbatim — header chains only append, so re-walking them would
+//     reproduce the same bits — while touched entries and the subsets
+//     of journaled paths (the only itemsets that can newly qualify;
+//     the threshold is non-decreasing between restructures) are
+//     recounted with targeted ItemsetSupport queries. Steady drift
+//     costs O(changed paths), not O(tree): the DeltaMine/steady-drift
+//     kernel polls >5x faster than the full re-mine twin. Every path
+//     — full, delta, staged — computes counts canonically (by
+//     ItemsetSupport, never FPGrowth's accumulation order), so all
+//     paths are reflect.DeepEqual-identical; the full re-mine pays a
+//     recount pass for that guarantee and is the deliberate slow
+//     fallback. Merged polls thread the same machinery through
+//     explain.PollMerger: shard snapshots are taken with
+//     SnapshotClone (which re-anchors the live journal at the
+//     snapshot epoch), and the merger stages the previous merged
+//     table plus the union of per-shard changed paths into the
+//     merged explainer, which recounts rather than trusts counts
+//     across tree lineages. CacheStats adds DeltaMines (polls served
+//     by a delta) and JournalOverflows (delta attempted, fell back).
+//
+//   - Early-exit ranking. Scoring a candidate needs its inlier count
+//     only to decide the risk-ratio filter, and the filter is often
+//     decided long before the counting walk finishes: past the
+//     algebraic break-even inlier count (inlierBreakEven), no
+//     remaining chain mass can lift the ratio back over
+//     MinRiskRatio. ItemsetSupportCapped abandons the walk strictly
+//     past that bound (with a safety margin, so completed walks
+//     return exact counts and output is invariant); both the batch
+//     and streaming explainers use it, the streaming side counting
+//     abandoned walks in CacheStats.EarlyExits and gating the exit
+//     behind StreamingConfig.DisableEarlyExit.
+//
+// Correctness rides on the same differential harness as the cache: the
+// randomized sequential and sharded interleavings now drive the
+// delta-mine, overflow-fallback, and early-exit paths (the meta-test
+// asserts all three fire), and a go test -fuzz target
+// (explain.FuzzStreamingDelta) replays interleaved
+// insert/decay/restructure/poll scripts against both a cache-disabled
+// twin (bit-equality) and a brute-force weighted-multiset model
+// (independent recount), with the committed corpus replayed under
+// -race in CI.
 //
 // # Push-based partitioned ingest
 //

@@ -200,6 +200,43 @@ func TestRouteScatterAllocFree(t *testing.T) {
 	}
 }
 
+// TestAckTrackerSteadyStateZeroAlloc pins the checkpoint bookkeeping's
+// allocation behavior on the routed ingest path: under pipelined flow,
+// consumption lags ingest by a window, so the tracker is never fully
+// drained and its truncate-when-empty fast path never fires. begin
+// must recycle the completed prefix in place instead of growing the
+// in-flight slice one allocation at a time for the life of the run —
+// the regression that cost PushIngest/p3s4 an alloc per batch.
+func TestAckTrackerSteadyStateZeroAlloc(t *testing.T) {
+	tr := &ackTracker{}
+	const k = 4   // sub-batches per read (shard fan-out)
+	const lag = 8 // pipeline depth: done trails begin by this many reads
+	off := int64(0)
+	pending := make([]int64, 0, lag)
+	step := func() {
+		off++
+		tr.begin(off, k)
+		pending = append(pending, off)
+		if len(pending) >= lag {
+			oldest := pending[0]
+			pending = append(pending[:0], pending[1:]...)
+			for i := 0; i < k; i++ {
+				tr.done(oldest)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		step() // warm the in-flight window's capacity
+	}
+	allocs := testing.AllocsPerRun(200, step)
+	if allocs != 0 {
+		t.Fatalf("pipelined ack tracking allocates %v allocs per batch, want 0", allocs)
+	}
+	if got := tr.get(); got <= 0 {
+		t.Fatalf("committed offset did not advance under pipelined acks: %d", got)
+	}
+}
+
 // aliasPartition is a BatchPartition whose every batch is filled with
 // a self-consistent pattern: point i of batch k has Metrics[0] = id,
 // Metrics[1] = 2*id and Attrs[0] = id%97 for id = k*maxPts+i. Any

@@ -111,8 +111,18 @@ type ackRead struct {
 }
 
 // begin registers a read at offset off fanned out into k sub-batches.
+// Completed-prefix entries are compacted away first, so the slice's
+// live window stays bounded by the number of in-flight reads (pipeline
+// depth) and its capacity stabilizes: steady-state ingest appends into
+// recycled storage instead of growing the slice one allocation at a
+// time for the life of the run.
 func (t *ackTracker) begin(off int64, k int) {
 	t.mu.Lock()
+	if t.head > 0 {
+		n := copy(t.reads, t.reads[t.head:])
+		t.reads = t.reads[:n]
+		t.head = 0
+	}
 	t.reads = append(t.reads, ackRead{off: off, outstanding: k})
 	t.mu.Unlock()
 }

@@ -115,18 +115,54 @@ func TestCacheInvalidatesOnOutlierMovementAndDecay(t *testing.T) {
 	s.Consume(cacheWorkload(rng, 2000))
 	s.Explanations()
 
+	// Outlier movement by plain inserts no longer invalidates to a full
+	// mine: the changed-path journal serves a delta update.
 	s.Consume(cacheWorkload(rng, 500)) // contains outliers
 	s.Explanations()
-	if st := s.CacheStats(); st.FullMines != 2 {
-		t.Fatalf("stats after outlier movement = %+v, want a second full mine", st)
+	if st := s.CacheStats(); st.FullMines != 1 || st.DeltaMines != 1 {
+		t.Fatalf("stats after outlier movement = %+v, want a delta mine", st)
 	}
 
 	s.Explanations() // unchanged again
+	// A decay-tick restructure rewrites the tree wholesale; the journal
+	// cannot describe that, so the poll falls back to a full mine and
+	// counts the fallback.
 	s.Decay()
 	s.Explanations()
 	st := s.CacheStats()
-	if st.FullMines != 3 || st.FullHits != 1 {
-		t.Fatalf("stats after decay = %+v, want a third full mine", st)
+	if st.FullMines != 2 || st.FullHits != 1 || st.DeltaMines != 1 || st.JournalOverflows != 1 {
+		t.Fatalf("stats after decay = %+v, want a restructure-forced full mine", st)
+	}
+}
+
+// TestDisableDeltaMineForcesFullMines pins the knob: with delta mining
+// off, outlier movement takes the pre-delta full re-mine path, and the
+// output stays identical to the delta-mined one.
+func TestDisableDeltaMineForcesFullMines(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	noDelta := cacheCfg
+	noDelta.DisableDeltaMine = true
+	s := NewStreaming(noDelta)
+	s.Consume(cacheWorkload(rng, 2000))
+	s.Explanations()
+	s.Consume(cacheWorkload(rng, 500))
+	got := s.Explanations()
+	st := s.CacheStats()
+	if st.FullMines != 2 || st.DeltaMines != 0 || st.JournalOverflows != 0 {
+		t.Fatalf("stats = %+v, want two full mines and no delta activity", st)
+	}
+
+	rng2 := rand.New(rand.NewPCG(5, 6))
+	d := NewStreaming(cacheCfg)
+	d.Consume(cacheWorkload(rng2, 2000))
+	d.Explanations()
+	d.Consume(cacheWorkload(rng2, 500))
+	want := d.Explanations()
+	if dst := d.CacheStats(); dst.DeltaMines != 1 {
+		t.Fatalf("delta-enabled stats = %+v, want the second poll delta-mined", dst)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("delta-mined output diverged from full-mined output:\n%v\n%v", want, got)
 	}
 }
 
@@ -173,7 +209,10 @@ func TestPollMergerIncremental(t *testing.T) {
 	clones := func(ss []*Streaming) []*Streaming {
 		out := make([]*Streaming, len(ss))
 		for i, s := range ss {
-			out[i] = s.Clone()
+			// SnapshotClone, like the session layer: the clone carries
+			// the changed-path journal since the previous snapshot, which
+			// is what lets the merger delta-update across polls.
+			out[i] = s.SnapshotClone()
 		}
 		return out
 	}
@@ -208,7 +247,13 @@ func TestPollMergerIncremental(t *testing.T) {
 	if st.MineReuses != 1 {
 		t.Errorf("merger mine reuses = %d, want 1 (stats %+v)", st.MineReuses, st)
 	}
-	if st.FullMines != 3 {
-		t.Errorf("merger full mines = %d, want 3 (stats %+v)", st.FullMines, st)
+	if st.DeltaMines != 1 {
+		t.Errorf("merger delta mines = %d, want 1 for the outlier-movement poll (stats %+v)", st.DeltaMines, st)
+	}
+	if st.JournalOverflows != 1 {
+		t.Errorf("merger journal overflows = %d, want 1 for the decay poll (stats %+v)", st.JournalOverflows, st)
+	}
+	if st.FullMines != 2 {
+		t.Errorf("merger full mines = %d, want 2 (cold + decay fallback; stats %+v)", st.FullMines, st)
 	}
 }

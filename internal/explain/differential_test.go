@@ -149,7 +149,10 @@ func runDiffSharded(cfg StreamingConfig, ops []diffOp) string {
 	clones := func(ss []*Streaming) []*Streaming {
 		out := make([]*Streaming, len(ss))
 		for i, s := range ss {
-			out[i] = s.Clone()
+			// SnapshotClone, matching the session layer: re-anchoring the
+			// live journal at each snapshot is what lets the merger serve
+			// delta updates across polls.
+			out[i] = s.SnapshotClone()
 		}
 		return out
 	}
@@ -297,7 +300,7 @@ func TestDifferentialExercisesCachePaths(t *testing.T) {
 			case diffPoll:
 				cl := make([]*Streaming, len(shards))
 				for j := range shards {
-					cl[j] = shards[j].Clone()
+					cl[j] = shards[j].SnapshotClone()
 				}
 				merger.Merge(cl)
 			}
@@ -307,7 +310,13 @@ func TestDifferentialExercisesCachePaths(t *testing.T) {
 	if seq.FullHits == 0 || seq.MineReuses == 0 || seq.FullMines == 0 {
 		t.Errorf("sequential interleavings missed a cache path: %+v", seq)
 	}
+	if seq.DeltaMines == 0 || seq.JournalOverflows == 0 || seq.EarlyExits == 0 {
+		t.Errorf("sequential interleavings missed a delta/early-exit path: %+v", seq)
+	}
 	if sh.FullHits == 0 || sh.MineReuses == 0 || sh.FullMines == 0 {
 		t.Errorf("sharded interleavings missed a cache path: %+v", sh)
+	}
+	if sh.DeltaMines == 0 || sh.JournalOverflows == 0 {
+		t.Errorf("sharded interleavings missed a delta path: %+v", sh)
 	}
 }

@@ -40,10 +40,24 @@ func (s *Streaming) Clone() *Streaming {
 		mineCacheMin:   s.mineCacheMin,
 		mineCacheEpoch: s.mineCacheEpoch,
 		mineCacheOK:    s.mineCacheOK,
+		mineCacheCanon: s.mineCacheCanon,
 		fullCache:      s.fullCache,
 		fullCacheKey:   s.fullCacheKey,
 		fullCacheOK:    s.fullCacheOK,
 	}
+}
+
+// SnapshotClone is Clone for the sharded serving layer's per-poll
+// snapshots: it additionally re-anchors the live outlier tree's
+// changed-path journal at the snapshot's epoch, so the journal handed
+// out with the *next* snapshot describes exactly the movement since
+// this one — the diff PollMerger needs to update the previous merged
+// poll's combination table instead of re-mining. The clone itself
+// carries the journal accumulated since the previous snapshot.
+func (s *Streaming) SnapshotClone() *Streaming {
+	c := s.Clone()
+	s.outTree.ResetJournal()
+	return c
 }
 
 // Merge folds other's summary state into s, treating the two as
@@ -131,6 +145,32 @@ func (s *Streaming) adoptMineCache(tab []fptree.Itemset, minCount float64) {
 	s.mineCacheMin = minCount
 	s.mineCacheEpoch = s.outTree.Epoch()
 	s.mineCacheOK = true
+	// The table's counts were computed against a different (merged)
+	// tree, not this explainer's own slab lineage, so a later journal
+	// delta must not keep them verbatim (see mineCacheCanon).
+	s.mineCacheCanon = false
+}
+
+// stageDelta hands the next Explanations call a merged-poll delta: a
+// combination table from the previous merged poll (complete at
+// threshold tabMin) plus the union of per-shard changed paths since
+// it. The caller (PollMerger) proves via signatures and journals that
+// every itemset whose merged support changed is a subset of one of
+// paths; Explanations re-derives the current table by recounting,
+// skipping the FPGrowth mine. Consumed by exactly one poll.
+func (s *Streaming) stageDelta(tab []fptree.Itemset, tabMin float64, paths [][]int32) {
+	s.stagedTab = tab
+	s.stagedMin = tabMin
+	s.stagedPaths = paths
+	s.stagedOK = true
+}
+
+// outJournalSince exposes the outlier tree's changed-path journal to
+// the merge layer: n paths since epoch, ok=false when the journal
+// cannot vouch for that interval (rewritten, overflowed, or anchored
+// elsewhere).
+func (s *Streaming) outJournalSince(epoch uint64) (int, bool) {
+	return s.outTree.JournalSince(epoch)
 }
 
 // PollMerger serves a resident session's repeated merged polls
@@ -144,11 +184,17 @@ func (s *Streaming) adoptMineCache(tab []fptree.Itemset, minCount float64) {
 //   - if only inlier sides moved, the previous poll's mined itemset
 //     table is injected into the merged explainer, which then skips
 //     its FPGrowth mine and recomputes only the filtering/ranking;
-//   - any outlier-side movement (new outliers, a decay tick, a shard
-//     count change) invalidates the mined table and the merge runs in
-//     full.
+//   - if outlier sides moved by plain inserts — every moved shard's
+//     snapshot carries a valid changed-path journal since the previous
+//     poll — the previous merged table plus the union of those
+//     journals is staged as a delta: the merged explainer re-derives
+//     the current table with targeted support recounts instead of an
+//     FPGrowth mine (see Streaming.Explanations);
+//   - otherwise (a decay-tick restructure, a journal overflow, a shard
+//     count change) the merge runs in full.
 //
-// Both incremental paths are bit-identical to a full recompute. A
+// Every incremental path produces output identical to a full
+// recompute (the differential tests pin this). A
 // PollMerger is not safe for concurrent use; the session serializes
 // polls around it.
 type PollMerger struct {
@@ -231,6 +277,33 @@ func (m *PollMerger) merge(shards []*Streaming, owned bool) []core.Explanation {
 			}
 		}
 	}
+	// Collect the per-shard changed-path journals before folding: the
+	// fold rewrites dst's tree (poisoning its own journal), but the
+	// journal storage read here is never mutated mid-poll, so the path
+	// slices stay valid until Explanations consumes them.
+	deltaOK := !outSame && m.valid && m.mineOK && len(sigs) == len(m.sigs) &&
+		!shards[0].cfg.DisableDeltaMine
+	var stagedPaths [][]int32
+	if deltaOK {
+		for i, sh := range shards {
+			if outSideEqual(sigs[i], m.sigs[i]) {
+				continue // unchanged shard: contributes no paths
+			}
+			n, ok := sh.outJournalSince(m.sigs[i].OutEpoch)
+			if !ok {
+				// A moved shard's journal cannot vouch for the interval
+				// (restructure, overflow, or a replaced shard): the poll
+				// falls back to a full merged mine.
+				m.stats.JournalOverflows++
+				deltaOK = false
+				stagedPaths = nil
+				break
+			}
+			for j := 0; j < n; j++ {
+				stagedPaths = append(stagedPaths, sh.outTree.JournalPath(j))
+			}
+		}
+	}
 	dst := shards[0]
 	if !owned && len(shards) > 1 {
 		// Shared inputs survive the poll: fold into a local clone so
@@ -251,6 +324,8 @@ func (m *PollMerger) merge(shards []*Streaming, owned bool) []core.Explanation {
 		// threshold: Explanations re-checks that against the current
 		// minCount and falls back to a full mine on any mismatch.
 		dst.adoptMineCache(m.mineTab, m.mineMin)
+	} else if deltaOK {
+		dst.stageDelta(m.mineTab, m.mineMin, stagedPaths)
 	}
 	// Account only this call's outcome: dst is usually a fresh clone
 	// (stats zero), but the shared single-shard path may hand the same
@@ -262,6 +337,9 @@ func (m *PollMerger) merge(shards []*Streaming, owned bool) []core.Explanation {
 	delta.FullHits -= pre.FullHits
 	delta.MineReuses -= pre.MineReuses
 	delta.FullMines -= pre.FullMines
+	delta.DeltaMines -= pre.DeltaMines
+	delta.JournalOverflows -= pre.JournalOverflows
+	delta.EarlyExits -= pre.EarlyExits
 	delta.SnapshotsElided -= pre.SnapshotsElided
 	m.stats.Add(delta)
 	// Harvest the merged mine for the next poll and remember the

@@ -1,6 +1,7 @@
 package explain
 
 import (
+	"math"
 	"slices"
 
 	"macrobase/internal/core"
@@ -42,6 +43,20 @@ type StreamingConfig struct {
 	// tests pin that — so this exists for testing and for callers that
 	// poll once and want no retained mining state.
 	DisableCache bool
+	// DisableDeltaMine forces every outlier-side change down the full
+	// FPGrowth re-mine path instead of the changed-path delta update
+	// (see Explanations). Delta-mined and fully mined output are
+	// identical — the differential tests pin that — so this exists for
+	// testing and for benchmarking the full path.
+	DisableDeltaMine bool
+	// DisableEarlyExit disables the break-even early exit on inlier
+	// support counting: with it set, every candidate's inlier count is
+	// walked to completion even when the partial count already proves
+	// the risk-ratio filter must reject it. Early exit is
+	// output-invariant (it fires only past the algebraic break-even
+	// point, with a safety margin); the knob exists for testing and
+	// measurement.
+	DisableEarlyExit bool
 }
 
 func (c StreamingConfig) withDefaults() StreamingConfig {
@@ -97,14 +112,30 @@ type Streaming struct {
 	// move with every consumed point and decay tick. The cached slices
 	// are treated as immutable once stored (refreshes replace, never
 	// mutate), so clones may share them.
-	mineCache      []fptree.Itemset // last full FPGrowth output over outTree
-	mineCacheMin   float64          // the minCount it was mined at
-	mineCacheEpoch uint64           // outTree epoch it was mined at
+	mineCache      []fptree.Itemset // last combination table over outTree
+	mineCacheMin   float64          // the minCount it was built at
+	mineCacheEpoch uint64           // outTree epoch it was built at
 	mineCacheOK    bool
+	// mineCacheCanon marks the table's counts as canonical for this
+	// explainer's own outlier tree lineage (computed by ItemsetSupport
+	// on it, directly or via a clone's bit-identical slab copy). Only
+	// canonical tables may keep untouched entries' counts across a
+	// journal delta; adopted tables from the merge layer are recounted
+	// instead (see stageDelta).
+	mineCacheCanon bool
 	fullCache      []core.Explanation // last ranked output
 	fullCacheKey   cacheKey
 	fullCacheOK    bool
 	stats          CacheStats
+
+	// Staged delta handed in by PollMerger for merged polls: a base
+	// table from the previous merged poll plus the union of per-shard
+	// changed paths since it. Consumed (and cleared) by the next
+	// Explanations call.
+	stagedTab   []fptree.Itemset
+	stagedMin   float64
+	stagedPaths [][]int32
+	stagedOK    bool
 }
 
 // cacheKey captures every input of Explanations that can change
@@ -140,6 +171,22 @@ type CacheStats struct {
 	MineReuses int64 `json:"mineReuses"`
 	// FullMines are polls that ran a full FPGrowth mine.
 	FullMines int64 `json:"fullMines"`
+	// DeltaMines are polls that updated the cached combination table
+	// from the outlier tree's changed-path journal (or, on merged
+	// polls, the union of per-shard journals) instead of re-mining:
+	// untouched itemsets keep their counts, touched and newly possible
+	// ones are recounted with targeted support queries.
+	DeltaMines int64 `json:"deltaMines"`
+	// JournalOverflows are polls that wanted a delta update but fell
+	// back to a full mine because the journal could not describe the
+	// movement: a restructure or merge rewrote the tree wholesale, the
+	// journal's capacity caps were hit, or the subset-enumeration
+	// budget was exceeded.
+	JournalOverflows int64 `json:"journalOverflows"`
+	// EarlyExits counts candidate combinations whose inlier support
+	// walk was abandoned at the risk-ratio break-even point (the
+	// partial count already proved the filter must reject them).
+	EarlyExits int64 `json:"earlyExits"`
 	// SnapshotsElided counts per-shard snapshot clones skipped
 	// entirely because the shard's Signature was unchanged since the
 	// previous poll (the poll reused the retained snapshot instead of
@@ -154,6 +201,9 @@ func (c *CacheStats) Add(o CacheStats) {
 	c.FullHits += o.FullHits
 	c.MineReuses += o.MineReuses
 	c.FullMines += o.FullMines
+	c.DeltaMines += o.DeltaMines
+	c.JournalOverflows += o.JournalOverflows
+	c.EarlyExits += o.EarlyExits
 	c.SnapshotsElided += o.SnapshotsElided
 }
 
@@ -174,6 +224,9 @@ func NewStreaming(cfg StreamingConfig) *Streaming {
 	if cfg.AMCMaintainEvery > 0 {
 		s.outAttrs.WithMaintenanceEvery(cfg.AMCMaintainEvery)
 		s.inAttrs.WithMaintenanceEvery(cfg.AMCMaintainEvery)
+	}
+	if !cfg.DisableCache && !cfg.DisableDeltaMine {
+		s.outTree.EnableJournal()
 	}
 	return s
 }
@@ -245,26 +298,37 @@ func (s *Streaming) Decay() {
 // summary by mining the outlier tree and filtering by support and risk
 // ratio against the inlier structures.
 //
-// Mining is incremental across calls. Two cache levels serve repeated
-// polls, both keyed on (tree epochs, class totals) so they invalidate
-// exactly when the summary state moves:
+// Mining is incremental across calls. In order of preference:
 //
 //   - a full-result cache returns the previous ranked output when
 //     nothing changed at all (the steady-state poll of a resident
 //     session);
-//   - a mined-table cache reuses the previous FPGrowth output when
-//     only the inlier side moved (outTree epoch and totalOut
-//     unchanged — the common case under a mostly-inlier stream),
+//   - a combination-table cache reuses the previous table when only
+//     the inlier side moved (outTree epoch and totalOut unchanged),
 //     recomputing just the support counting, risk-ratio filtering,
-//     and ranking.
+//     and ranking;
+//   - a delta mine updates the cached table from the outlier tree's
+//     changed-path journal when the outlier side moved by plain
+//     inserts: itemsets untouched by any journaled path keep their
+//     counts (chains only append, so the counting walk is
+//     bit-identical), touched and newly possible itemsets — subsets
+//     of journaled paths — are recounted with targeted support
+//     queries. Steady drift therefore costs O(changed paths), not
+//     O(tree);
+//   - a full FPGrowth re-mine runs only when the journal cannot
+//     describe the movement: a decay-tick restructure or a merge
+//     rewrote the tree, or the journal/budget caps overflowed.
 //
-// A full re-mine therefore happens only when the outlier side itself
-// changed: new outlier points or a decay-tick restructure. Both cached
-// paths are bit-identical to a full recompute (the differential tests
-// pin this): a full hit replays a result computed from identical
-// state, and a mine reuse requires the identical tree and threshold,
-// under which FPGrowth is deterministic.
+// Every path produces identical output (the differential tests pin
+// this). The invariant making that cheap to guarantee: combination
+// counts are always canonical — computed by ItemsetSupport against the
+// current outlier tree — so the full mine is candidate discovery plus
+// canonical counting, and a delta only has to get the candidate set
+// right, never reproduce FPGrowth's accumulation order.
 func (s *Streaming) Explanations() []core.Explanation {
+	// Consume any staged merged-poll delta exactly once.
+	staged, stagedTab, stagedMin, stagedPaths := s.stagedOK, s.stagedTab, s.stagedMin, s.stagedPaths
+	s.stagedOK, s.stagedTab, s.stagedPaths = false, nil, nil
 	if s.totalOut <= 0 {
 		return nil
 	}
@@ -310,28 +374,13 @@ func (s *Streaming) Explanations() []core.Explanation {
 		})
 	})
 
-	// Combinations from the outlier M-CPS-tree: reuse the cached mined
-	// table when the outlier side is provably unchanged (same tree
-	// epoch, same threshold — totalOut is part of minCount), otherwise
-	// re-mine and refresh the cache.
-	var mined []fptree.Itemset
-	if !s.cfg.DisableCache && s.mineCacheOK &&
-		s.mineCacheEpoch == key.outEpoch && s.mineCacheMin == minCount {
-		mined = s.mineCache
-		s.stats.MineReuses++
-	} else {
-		mined = s.outTree.Mine(minCount, s.cfg.MaxItems)
-		s.stats.FullMines++
-		if !s.cfg.DisableCache {
-			s.mineCache = mined
-			s.mineCacheMin = minCount
-			s.mineCacheEpoch = key.outEpoch
-			s.mineCacheOK = true
-		}
-	}
-	for _, is := range mined {
+	// Multi-attribute combinations: obtain the current table — every
+	// itemset of ≥2 attributes with canonical support ≥ minCount —
+	// then filter against the inlier side.
+	tab := s.combinationTable(key.outEpoch, minCount, staged, stagedTab, stagedMin, stagedPaths)
+	for _, is := range tab {
 		if len(is.Items) < 2 {
-			continue // singles already covered by the sketch
+			continue
 		}
 		ok := true
 		for _, it := range is.Items {
@@ -344,7 +393,21 @@ func (s *Streaming) Explanations() []core.Explanation {
 			continue
 		}
 		tested++
-		ai := s.inTree.ItemsetSupport(is.Items)
+		var ai float64
+		if s.cfg.DisableEarlyExit {
+			ai = s.inTree.ItemsetSupport(is.Items)
+		} else {
+			var exceeded bool
+			ai, exceeded = s.inTree.ItemsetSupportCapped(is.Items,
+				inlierBreakEven(is.Count, s.totalOut, s.totalIn, s.cfg.MinRiskRatio))
+			if exceeded {
+				// Past break-even the risk ratio is decisively below
+				// MinRiskRatio no matter how much higher the true
+				// inlier count is; the filter below would reject.
+				s.stats.EarlyExits++
+				continue
+			}
+		}
 		rr := RiskRatio(is.Count, ai, s.totalOut, s.totalIn)
 		if rr < s.cfg.MinRiskRatio {
 			continue
@@ -368,6 +431,219 @@ func (s *Streaming) Explanations() []core.Explanation {
 		return slices.Clone(exps)
 	}
 	return exps
+}
+
+// combinationTable returns the current combination table — exactly the
+// itemsets of 2..MaxItems attributes whose canonical (ItemsetSupport)
+// count clears minCount — serving it from the cache, a delta update,
+// or a full mine, cheapest applicable first. The table's content is a
+// pure function of (outlier tree, minCount, MaxItems) on every path;
+// only the entry order differs, and ranking restores determinism
+// downstream. Refreshes store the table and re-anchor the tree's
+// journal.
+func (s *Streaming) combinationTable(outEpoch uint64, minCount float64, staged bool, stagedTab []fptree.Itemset, stagedMin float64, stagedPaths [][]int32) []fptree.Itemset {
+	if !s.cfg.DisableCache && s.mineCacheOK &&
+		s.mineCacheEpoch == outEpoch && s.mineCacheMin == minCount {
+		s.stats.MineReuses++
+		return s.mineCache
+	}
+	deltaOK := !s.cfg.DisableCache && !s.cfg.DisableDeltaMine
+	if deltaOK && staged && minCount >= stagedMin {
+		// Merged poll: PollMerger proved the base table current as of
+		// the per-shard signatures and unioned the shard journals.
+		// Counts from the previous merged tree are not canonical for
+		// this one (it was folded anew), so every surviving entry is
+		// recounted; completeness needs only the candidate set.
+		if tab, ok := s.deltaTable(stagedTab, stagedPaths, minCount, false); ok {
+			s.stats.DeltaMines++
+			s.storeTable(tab, minCount, outEpoch)
+			return tab
+		}
+		s.stats.JournalOverflows++
+	} else if deltaOK && s.mineCacheOK && s.mineCacheCanon {
+		// minCount only rises between restructures (totals are append-
+		// only until a decay tick), so a drop below the cached table's
+		// threshold means the tree was rewritten too — the base table is
+		// incomplete at the new threshold and the delta is off the table.
+		if n, ok := s.outTree.JournalSince(s.mineCacheEpoch); ok && minCount >= s.mineCacheMin {
+			paths := make([][]int32, 0, n)
+			for i := 0; i < n; i++ {
+				paths = append(paths, s.outTree.JournalPath(i))
+			}
+			if tab, ok2 := s.deltaTable(s.mineCache, paths, minCount, true); ok2 {
+				s.stats.DeltaMines++
+				s.storeTable(tab, minCount, outEpoch)
+				return tab
+			}
+		}
+		// The journal could not describe the movement (restructure or
+		// merge rewrite, capacity overflow, subset budget blown, or a
+		// lowered threshold): fall back to the full mine.
+		s.stats.JournalOverflows++
+	}
+	tab := s.fullTable(minCount)
+	s.stats.FullMines++
+	s.storeTable(tab, minCount, outEpoch)
+	return tab
+}
+
+// storeTable refreshes the combination-table cache and re-anchors the
+// outlier journal at the current epoch (the table now reflects it).
+func (s *Streaming) storeTable(tab []fptree.Itemset, minCount float64, outEpoch uint64) {
+	if s.cfg.DisableCache {
+		return
+	}
+	s.mineCache = tab
+	s.mineCacheMin = minCount
+	s.mineCacheEpoch = outEpoch
+	s.mineCacheOK = true
+	s.mineCacheCanon = true
+	s.outTree.ResetJournal()
+}
+
+// fullTable builds the combination table from scratch: FPGrowth for
+// candidate discovery, canonical recount for the stored counts. The
+// mine runs at a slightly relaxed threshold so reassociation ulps
+// between FPGrowth's accumulation order and the canonical counting
+// walk can never hide a qualifying candidate from discovery.
+func (s *Streaming) fullTable(minCount float64) []fptree.Itemset {
+	mined := s.outTree.Mine(minCount*(1-1e-6), s.cfg.MaxItems)
+	tab := make([]fptree.Itemset, 0, len(mined))
+	for _, is := range mined {
+		if len(is.Items) < 2 {
+			continue // singles are covered by the sketches
+		}
+		if ao := s.outTree.ItemsetSupport(is.Items); ao >= minCount {
+			tab = append(tab, fptree.Itemset{Items: is.Items, Count: ao})
+		}
+	}
+	return tab
+}
+
+// Delta-mining bounds: paths longer than maxDeltaPathItems would need
+// more subsets than a full mine is worth, and maxDeltaSubsets bounds
+// the total candidate evaluations per delta.
+const (
+	maxDeltaPathItems = 16
+	maxDeltaSubsets   = 1 << 14
+)
+
+// deltaTable updates base — a complete combination table for an
+// earlier state of the outlier tree at threshold ≤ minCount — into the
+// table for the current tree, given that every itemset whose support
+// changed since is a subset of one of paths. Subsets of the changed
+// paths are the only itemsets that can have joined (the threshold only
+// rises between restructures, so a newly qualifying itemset must have
+// gained support); base entries merely need re-filtering, and — when
+// keepUntouched is set, i.e. base counts are canonical for this very
+// tree lineage — entries no journaled path touched keep their counts
+// outright, because an append-only chain walk re-accumulates the
+// identical sum. ok=false means the subset budget was exceeded and the
+// caller must re-mine.
+func (s *Streaming) deltaTable(base []fptree.Itemset, paths [][]int32, minCount float64, keepUntouched bool) (tab []fptree.Itemset, ok bool) {
+	// Enumerate candidate subsets of the changed paths, deduplicated.
+	budget := maxDeltaSubsets
+	cand := make(map[string][]int32)
+	pathSeen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		q := slices.Clone(p)
+		slices.Sort(q)
+		q = slices.Compact(q)
+		if len(q) > maxDeltaPathItems {
+			return nil, false
+		}
+		if len(q) < 2 {
+			continue
+		}
+		pk := itemKey(q)
+		if pathSeen[pk] {
+			continue
+		}
+		pathSeen[pk] = true
+		if budget -= 1 << len(q); budget < 0 {
+			return nil, false
+		}
+		maxSz := len(q)
+		if s.cfg.MaxItems > 0 && s.cfg.MaxItems < maxSz {
+			maxSz = s.cfg.MaxItems
+		}
+		for mask := 3; mask < 1<<len(q); mask++ {
+			n := popcount(mask)
+			if n < 2 || n > maxSz {
+				continue
+			}
+			sub := make([]int32, 0, n)
+			for b := 0; b < len(q); b++ {
+				if mask&(1<<b) != 0 {
+					sub = append(sub, q[b]) // q ascending ⇒ sub ascending
+				}
+			}
+			k := itemKey(sub)
+			if _, dup := cand[k]; !dup {
+				cand[k] = sub
+			}
+		}
+	}
+	tab = make([]fptree.Itemset, 0, len(base)+len(cand))
+	for _, is := range base {
+		k := itemKey(is.Items)
+		if _, touched := cand[k]; touched {
+			delete(cand, k) // recounted here, not again below
+		} else if keepUntouched {
+			if is.Count >= minCount {
+				tab = append(tab, is)
+			}
+			continue
+		}
+		if ao := s.outTree.ItemsetSupport(is.Items); ao >= minCount {
+			tab = append(tab, fptree.Itemset{Items: is.Items, Count: ao})
+		}
+	}
+	for _, items := range cand {
+		if ao := s.outTree.ItemsetSupport(items); ao >= minCount {
+			tab = append(tab, fptree.Itemset{Items: items, Count: ao})
+		}
+	}
+	return tab, true
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// inlierBreakEven returns the inlier count past which an itemset with
+// ao outlier support is decisively rejected by the MinRiskRatio
+// filter: the risk ratio is strictly decreasing in the inlier count,
+// and solving riskRatio(ao, ai) = minRR for ai gives the break-even
+//
+//	ai* = ao·(bo + totalIn − minRR·bo) / (minRR·bo + ao),  bo = totalOut − ao.
+//
+// A small safety margin is added so the early exit only fires strictly
+// past break-even — a walk that completes instead merely computes the
+// exact count, so erring toward completion preserves output exactly.
+// Degenerate regimes (no unexposed outliers, sub-1 thresholds) return
+// +Inf, disabling the exit.
+func inlierBreakEven(ao, totalOut, totalIn, minRR float64) float64 {
+	bo := totalOut - ao
+	if bo <= 0 || minRR < 1 {
+		return math.Inf(1)
+	}
+	star := ao * (bo + totalIn - minRR*bo) / (minRR*bo + ao)
+	if math.IsNaN(star) {
+		return math.Inf(1)
+	}
+	if star < 0 {
+		star = 0
+	}
+	slack := star * 1e-6
+	if slack < 1e-6 {
+		slack = 1e-6
+	}
+	return star + slack
 }
 
 var _ core.Explainer = (*Streaming)(nil)

@@ -323,6 +323,27 @@ func (t *Tree) ItemsetSupport(items []int32) float64 {
 	return t.arena.Support(q, t.rank)
 }
 
+// ItemsetSupportCapped is ItemsetSupport with an early exit: the walk
+// stops once the running support exceeds cap, returning the partial
+// sum and exceeded=true. A completed walk returns a total
+// bit-identical to ItemsetSupport's. The batch explainer uses it to
+// abandon an itemset's inlier count at the break-even point where the
+// risk-ratio filter is already decided.
+func (t *Tree) ItemsetSupportCapped(items []int32, cap float64) (float64, bool) {
+	if len(items) == 0 {
+		return 0, false
+	}
+	q := append(t.scratch[:0], items...)
+	t.scratch = q
+	for _, it := range q {
+		if t.rankOf(it) < 0 {
+			return 0, false
+		}
+	}
+	itemtree.SortByRankDesc(q, t.rank)
+	return t.arena.SupportCapped(q, t.rank, cap)
+}
+
 // NumNodes reports the number of tree nodes (excluding the root),
 // used by memory accounting tests.
 func (t *Tree) NumNodes() int { return t.arena.NumNodes() }

@@ -173,6 +173,13 @@ func (a *Arena) ChainCount(r int32) float64 {
 // item in q, which must be sorted descending by rank (SortByRankDesc):
 // it walks the node-link chain of q[0] — the deepest item — and
 // matches the remaining items along each prefix path.
+//
+// The accumulation order is the chain order, and chains only ever
+// append (InsertSorted links new nodes at the tail), so inserting
+// transactions that do not contain all of q leaves this sum
+// bit-identical: the matching nodes, their counts, and their visit
+// order are all unchanged. The explanation layer's delta mining relies
+// on that invariant to keep cached supports without recounting.
 func (a *Arena) Support(q []int32, rank []int32) float64 {
 	h := a.Headers[rank[q[0]]]
 	total := 0.0
@@ -188,4 +195,30 @@ func (a *Arena) Support(q []int32, rank []int32) float64 {
 		}
 	}
 	return total
+}
+
+// SupportCapped is Support with an early exit: the chain walk stops as
+// soon as the running total exceeds cap, returning the partial sum and
+// exceeded=true. Callers use it when any support above cap leads to
+// the same decision (e.g. risk-ratio filtering: past the break-even
+// inlier count the itemset is rejected no matter how much higher the
+// true support is), saving the remainder of the walk. When the full
+// walk completes, the returned total is bit-identical to Support's.
+func (a *Arena) SupportCapped(q []int32, rank []int32, cap float64) (total float64, exceeded bool) {
+	h := a.Headers[rank[q[0]]]
+	for n := h.Head; n != NilIdx; n = a.Nodes[n].Link {
+		need := 1
+		for p := a.Nodes[n].Parent; p != NilIdx && need < len(q); p = a.Nodes[p].Parent {
+			if a.Nodes[p].Item == q[need] {
+				need++
+			}
+		}
+		if need == len(q) {
+			total += a.Nodes[n].Count
+			if total > cap {
+				return total, true
+			}
+		}
+	}
+	return total, false
 }

@@ -42,7 +42,7 @@ func TestStreamSessionConcurrentPollCacheRace(t *testing.T) {
 			t.Fatal(err)
 		}
 		if len(res.Explanations) > 0 {
-			base = res.Cache.FullHits + res.Cache.MineReuses + res.Cache.FullMines
+			base = res.Cache.FullHits + res.Cache.MineReuses + res.Cache.FullMines + res.Cache.DeltaMines
 			break
 		}
 	}
@@ -72,7 +72,7 @@ func TestStreamSessionConcurrentPollCacheRace(t *testing.T) {
 						return
 					}
 				}
-				served := res.Cache.FullHits + res.Cache.MineReuses + res.Cache.FullMines
+				served := res.Cache.FullHits + res.Cache.MineReuses + res.Cache.FullMines + res.Cache.DeltaMines
 				if served < last {
 					errs <- "cache counters went backwards"
 					return
@@ -91,7 +91,7 @@ func TestStreamSessionConcurrentPollCacheRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	served := final.Cache.FullHits + final.Cache.MineReuses + final.Cache.FullMines
+	served := final.Cache.FullHits + final.Cache.MineReuses + final.Cache.FullMines + final.Cache.DeltaMines
 	// Every live poll plus the final reconciliation goes through the
 	// session merger, so the counters must account for all of them.
 	if want := base + int64(pollers*pollsEach) + 1; served != want {

@@ -70,6 +70,16 @@ type Config struct {
 	// Output is identical either way; this exists for benchmarking the
 	// cache and for paranoid deployments.
 	DisableExplainCache bool
+	// DisableDeltaMine forces every outlier-side change down the full
+	// FPGrowth re-mine instead of the changed-path delta update
+	// (explain.StreamingConfig.DisableDeltaMine). Output is identical
+	// either way; this exists for benchmarking the delta path.
+	DisableDeltaMine bool
+	// DisableExplainEarlyExit disables the break-even early exit on
+	// inlier support counting during explanation ranking
+	// (explain.StreamingConfig.DisableEarlyExit). Output is identical
+	// either way.
+	DisableExplainEarlyExit bool
 	// CoordinateEvery is the cross-shard threshold coordination period
 	// in ingested points (default 25_000): every so many points the
 	// coordinator collects each shard's score-quantile summary, merges

@@ -138,13 +138,15 @@ func newShardPipeline(cfg Config, shard, shards int) core.ShardPipeline {
 		Transforms: cfg.Transforms,
 		Classifier: cfg.Classifier,
 		Explainer: explain.NewStreaming(explain.StreamingConfig{
-			MinSupport:   cfg.MinSupport,
-			MinRiskRatio: cfg.MinRiskRatio,
-			DecayRate:    cfg.DecayRate,
-			AMCSize:      cfg.AMCSize,
-			MaxItems:     cfg.MaxItems,
-			Confidence:   cfg.Confidence,
-			DisableCache: cfg.DisableExplainCache,
+			MinSupport:       cfg.MinSupport,
+			MinRiskRatio:     cfg.MinRiskRatio,
+			DecayRate:        cfg.DecayRate,
+			AMCSize:          cfg.AMCSize,
+			MaxItems:         cfg.MaxItems,
+			Confidence:       cfg.Confidence,
+			DisableCache:     cfg.DisableExplainCache,
+			DisableDeltaMine: cfg.DisableDeltaMine,
+			DisableEarlyExit: cfg.DisableExplainEarlyExit,
 		}),
 	}
 	if pl.Classifier == nil && cfg.NewClassifier != nil {
@@ -316,8 +318,17 @@ func newShardBreakdown(per []ShardStatus, coord *coordState, rounds int) *ShardB
 		total += s.Points
 	}
 	if total > 0 {
+		// Hot-shard election runs over healthy shards only: a
+		// quarantined shard's pre-panic load is history, not heat, and
+		// reporting a dead shard as "hot" would misdirect whoever is
+		// chasing the imbalance. Its points still count toward the
+		// shares (they were really routed), and its status stays in
+		// PerShard.
 		maxShare := 0.0
 		for i, s := range per {
+			if s.Error != "" {
+				continue
+			}
 			share := float64(s.Points) / float64(total)
 			if share > maxShare {
 				maxShare, b.HotShard = share, i
@@ -531,7 +542,12 @@ func startSession(src core.Source, parts core.PartitionedSource, cfg Config, sha
 		if h, ok := hint.(explain.Signature); ok && h == sn.sig {
 			return sn
 		}
-		sn.clone = ex.Clone()
+		// SnapshotClone (not Clone) so the live tree's changed-path
+		// journal is re-anchored at this snapshot: the next snapshot then
+		// carries exactly the paths inserted in between, which is what
+		// lets the merger delta-update the previous poll's combination
+		// table instead of re-mining (see explain.PollMerger).
+		sn.clone = ex.SnapshotClone()
 		return sn
 	}
 	go func() {
