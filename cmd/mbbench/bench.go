@@ -175,6 +175,71 @@ func microBenchmarks() []benchResult {
 	noDeltaCfg := benchExplainCfg
 	noDeltaCfg.DisableDeltaMine = true
 
+	// rebalKernel is the skew-adaptive routing workload: a Zipf stream
+	// whose hot devices all hash to shard 0 of 4, pushed by 3 producers
+	// through the full pipeline. One op is one 1024-point batch; the
+	// pinned twin (DisableRebalance) measures the same stream with the
+	// routing table frozen at the static hash, and the final hot-shard
+	// load share (hottest shard's fraction of all points) is captured so
+	// the on/off comparison covers balance as well as ns/point. The win
+	// is a wall-clock one — the hot shard stops being the convoy — so it
+	// needs >= 4 real cores to show up in ns/op; the load-share spread
+	// is visible anywhere.
+	rebalShare := map[bool]float64{}
+	rebalKernel := func(pinned bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			d := gen.SkewedDevices(gen.SkewConfig{Points: 64_512, PinShards: 4, Seed: 42})
+			const batchPts = 1024
+			var batches [][]core.Point
+			for off := 0; off+batchPts <= len(d.Points); off += batchPts {
+				batches = append(batches, d.Points[off:off+batchPts])
+			}
+			const producers = 3
+			src := ingest.NewPush(producers, 4)
+			sess, err := pipeline.StartPartitionedStream(src, pipeline.Config{
+				Dims: 1, MinSupport: 0.005, DecayEveryPoints: 100_000,
+				CoordinateEvery: 4096, DisableRebalance: pinned, Seed: 7,
+			}, 4)
+			if err != nil {
+				panic(err)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					pr := src.Producer(p)
+					ctx := context.Background()
+					for i := p; i < b.N; i += producers {
+						if err := pr.Send(ctx, batches[i%len(batches)]); err != nil {
+							return
+						}
+					}
+					pr.Close()
+				}(p)
+			}
+			wg.Wait()
+			final, err := sess.Stop()
+			if err != nil {
+				panic(err)
+			}
+			b.StopTimer()
+			if sb := final.Shards; sb != nil {
+				var hot, total int64
+				for _, s := range sb.PerShard {
+					total += int64(s.Points)
+					if int64(s.Points) > hot {
+						hot = int64(s.Points)
+					}
+				}
+				if total > 0 {
+					rebalShare[pinned] = float64(hot) / float64(total)
+				}
+			}
+		}
+	}
+
 	results := []benchResult{
 		runKernel("StreamingExplain/consume", func(b *testing.B) {
 			s := explain.NewStreaming(benchExplainCfg)
@@ -318,13 +383,18 @@ func microBenchmarks() []benchResult {
 			}
 			b.StopTimer()
 		}),
+		runKernel("Rebalance/p3s4", rebalKernel(false)),
+		runKernel("Rebalance/p3s4-pinned", rebalKernel(true)),
 		runKernel("Route/p3s4", func(b *testing.B) {
 			// Pure data-plane kernel: 3 producers feed a 4-shard
 			// StreamRunner whose shards have no classifier or explainer,
 			// so one op is one 1024-point batch through producer enqueue,
-			// partition read, hash routing into pooled per-shard slabs,
-			// and worker consumption — the ingest plane with the
-			// analytics stripped out.
+			// partition read, bucket routing through the live routing
+			// table into pooled per-shard slabs, and worker consumption —
+			// the ingest plane with the analytics stripped out. The
+			// Rebalance policy is set so the 0-allocs/op gate guards the
+			// routed scatter path (table load + bucket counter + epoch
+			// swaps), not the legacy direct-hash path.
 			d := gen.Devices(gen.DeviceConfig{Points: 64_512, Devices: 400, Seed: 42})
 			const batchPts = 1024
 			var batches [][]core.Point
@@ -338,6 +408,7 @@ func microBenchmarks() []benchResult {
 				Shards:      4,
 				NewShard:    func(int) core.ShardPipeline { return core.ShardPipeline{} },
 				BatchSize:   batchPts,
+				Rebalance:   &core.RebalancePolicy{Every: 8192},
 			}
 			b.ResetTimer()
 			var wg sync.WaitGroup
@@ -425,6 +496,10 @@ func microBenchmarks() []benchResult {
 				tree.Mine(20, 0)
 			}
 		}),
+	}
+	if on, ok := rebalShare[false]; ok {
+		fmt.Printf("  %-34s hot-shard load share %.3f rebalanced vs %.3f pinned (0.25 = perfect balance at 4 shards)\n",
+			"Rebalance/p3s4", on, rebalShare[true])
 	}
 	fmt.Println()
 	return results

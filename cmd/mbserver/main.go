@@ -211,6 +211,9 @@ func pipelineConfig(cfg *ingest.QueryConfig) pipeline.Config {
 		Confidence:             cfg.Confidence,
 		CoordinateEvery:        cfg.CoordinateEvery,
 		DisableGlobalThreshold: cfg.DisableGlobalThreshold,
+		RoutingBuckets:         cfg.RoutingBuckets,
+		RebalanceAbove:         cfg.RebalanceAbove,
+		DisableRebalance:       cfg.DisableRebalance,
 		Seed:                   cfg.Seed,
 	}
 }

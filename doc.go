@@ -96,6 +96,58 @@
 // load share times P; 1.0 is perfectly balanced, P is total skew), and
 // the last global cutoff.
 //
+// # Skew-adaptive routing
+//
+// Threshold coordination fixes what skew does to the cutoff; it does
+// nothing for what skew does to throughput. The hash router pins every
+// attribute set to one shard forever, so a Zipf-popular handful of
+// attribute sets turns one shard into the convoy the whole stream waits
+// on — backpressure is end-to-end, so P shards deliver the hot shard's
+// throughput, not P times the mean. The router therefore adds one level
+// of indirection: the scatter loop hashes a point's attributes to one
+// of V virtual buckets (core.HashBucket, V defaulting to 256 rounded up
+// to a multiple of P) and looks the bucket up in a versioned routing
+// table ([]int32, bucket -> shard) read through an atomic pointer. That
+// is one extra array index and one per-bucket load-counter increment
+// per point — the data plane stays allocation-free (the Route/p3s4
+// kernel gates 0 allocs/op with routing active).
+//
+// Rebalancing rides the PR-6 coordinator: each round snapshots the
+// per-bucket counters (single-writer per partition, summed by the
+// coordinator), diffs them against the previous round into a load
+// window, and — when the hottest healthy shard's windowed share times P
+// exceeds Config.RebalanceAbove (default 1.5) — greedily moves the
+// largest movable buckets to the coolest healthy shards until the
+// window settles at the midpoint between the trigger and perfect
+// balance (hysteresis against churn), then publishes the rewritten
+// table under the next epoch (copy-on-write; in-flight scatter loops
+// finish their batch on the old epoch, deferring a move by at most one
+// batch). Quarantined shards are evacuated unconditionally and are
+// never move targets, which converts the degraded-mode story from
+// "drop the dead shard's hash range forever" into "lose at most one
+// coordination window" (TestRebalanceEvacuatesDeadShard).
+//
+// Consistency model: a bucket move splits an attribute set's history
+// across its old and new shard — exactly the cross-shard split the
+// merge laws already absorb. Merged sketches sum counts within summed
+// error bounds, risk ratios are computed from the merged counts, and
+// every mined-table path recounts support canonically via
+// ItemsetSupport, so a poll is invariant to where the counts live: the
+// rebalanced-vs-pinned differential (TestRebalancedMatchesPinnedExplanations)
+// requires identical ranked explanation sets, not merely similar ones.
+// Determinism boundaries mirror coordination's: rebalance rounds fire
+// on asynchronous ingest progress, so rebalanced multi-shard runs are
+// not bit-exact run to run; P=1 never starts a router, and
+// Config.DisableRebalance pins the identity table — whose placement is
+// bit-identical to HashPartition because V is a multiple of P — both
+// pinned against the manual-partition golden. Attribute-less points
+// (metrics-only streams) carry no itemsets and no placement invariant,
+// so the router spreads them round-robin instead of letting hash(()) pin
+// them all on shard 0. Observability: StreamStats.RoutingEpoch/
+// BucketMoves, the "rebalancing"/"routingEpoch"/"bucketMoves" fields in
+// the shards block, and the firehose example's -skew flag, which prints
+// the pinned-vs-rebalanced before/after report.
+//
 // # Flat-arena explanation structures
 //
 // The paper's headline throughput comes from keeping the per-point

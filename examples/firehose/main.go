@@ -26,6 +26,18 @@
 //
 //	go run ./examples/firehose
 //
+// With -skew <s>, device+version popularity follows a Zipf law with
+// exponent s instead of the uniform fleet, and the hottest
+// combinations are deliberately chosen among those the static hash
+// pins to shard 0 — the workload the skew-adaptive router exists for.
+// The example then runs the same stream twice, once with the routing
+// table pinned (DisableRebalance) and once with coordinator-driven
+// bucket rebalancing, and prints the before/after routing report: the
+// pinned imbalance, the live imbalance/epoch/moves trajectory as
+// rebalances land, and the final per-shard breakdown. Try:
+//
+//	go run ./examples/firehose -skew 1.0
+//
 // With -chaos, a seeded fault injector sits between the push queues
 // and the engine: a fraction of reads (-chaos-rate, default 1%) fail
 // with transient errors, and a retry layer (core.RetrySource, capped
@@ -38,7 +50,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,33 +62,102 @@ import (
 	"macrobase/internal/pipeline"
 )
 
-func main() {
-	const (
-		partitions = 3
-		shards     = 4
-	)
-	chaos := flag.Bool("chaos", false, "inject seeded transient read faults, absorbed by the retry layer")
-	chaosRate := flag.Float64("chaos-rate", 0.01, "per-read transient fault probability under -chaos")
-	flag.Parse()
+const (
+	partitions  = 3
+	shards      = 4
+	perProducer = 60_000
+)
 
-	enc := encode.NewEncoder("device", "app_version")
-	versions := []string{"2.25.0", "2.26.0", "2.26.3"}
+// comboSampler draws (device, version) pairs from a Zipf law over the
+// full combination grid. With pinning, the hottest ranks are given
+// combinations that HashPartition routes to shard 0 in pairwise
+// distinct routing buckets, so a pinned run concentrates their mass on
+// one shard while the rebalancer can spread them bucket by bucket.
+type comboSampler struct {
+	cum   []float64
+	total float64
+	dev   []string
+	ver   []string
+}
+
+func newComboSampler(s float64, enc *encode.Encoder, devices int, versions []string) *comboSampler {
+	type combo struct {
+		dev, ver string
+		shard, b int
+	}
+	combos := make([]combo, 0, devices*len(versions))
+	for d := 0; d < devices; d++ {
+		for _, v := range versions {
+			dev := fmt.Sprintf("d%d", d)
+			pt := core.Point{Attrs: []int32{enc.Encode(0, dev), enc.Encode(1, v)}}
+			combos = append(combos, combo{
+				dev: dev, ver: v,
+				shard: core.HashPartition(&pt, shards),
+				b:     core.HashBucket(&pt, core.DefaultRoutingBuckets),
+			})
+		}
+	}
+	// Hot set: the first 24 shard-0 combinations in distinct buckets.
+	const hotRanks = 24
+	sm := &comboSampler{}
+	seenBucket := map[int]bool{}
+	hot := map[int]bool{}
+	for i, c := range combos {
+		if len(sm.dev) == hotRanks {
+			break
+		}
+		if c.shard == 0 && !seenBucket[c.b] {
+			seenBucket[c.b] = true
+			hot[i] = true
+			sm.dev = append(sm.dev, c.dev)
+			sm.ver = append(sm.ver, c.ver)
+		}
+	}
+	for i, c := range combos {
+		if !hot[i] {
+			sm.dev = append(sm.dev, c.dev)
+			sm.ver = append(sm.ver, c.ver)
+		}
+	}
+	sm.cum = make([]float64, len(sm.dev))
+	for r := range sm.cum {
+		sm.total += 1 / math.Pow(float64(r+1), s)
+		sm.cum[r] = sm.total
+	}
+	return sm
+}
+
+func (s *comboSampler) sample(rng *rand.Rand) (dev, ver string) {
+	r := sort.SearchFloat64s(s.cum, rng.Float64()*s.total)
+	if r >= len(s.dev) {
+		r = len(s.dev) - 1
+	}
+	return s.dev[r], s.ver[r]
+}
+
+// pollSample is one point on the routing trajectory.
+type pollSample struct {
+	points    int
+	imbalance float64
+	epoch     int64
+	moves     int64
+}
+
+// runFirehose drives one full firehose run: producers, live polls, and
+// a deadline stop. It returns the final result and the poll-time
+// trajectory.
+func runFirehose(cfg pipeline.Config, sampler *comboSampler, enc *encode.Encoder,
+	versions []string, chaos bool, chaosRate float64, verbose bool) (*pipeline.ShardedResult, []pollSample) {
 
 	src := ingest.NewPush(partitions, 4)
 	var feed core.PartitionedSource = src
-	if *chaos {
+	if chaos {
 		feed = core.NewRetrySource(
-			ingest.NewChaosSource(src, ingest.ChaosPlan{Seed: 7, TransientErrorRate: *chaosRate}),
+			ingest.NewChaosSource(src, ingest.ChaosPlan{Seed: 7, TransientErrorRate: chaosRate}),
 			core.RetryPolicy{Seed: 7},
 		)
 	}
-	sess, err := pipeline.StartPartitionedStream(feed, pipeline.Config{
-		Dims:         1,
-		Percentile:   0.99,
-		MinSupport:   0.05,
-		MinRiskRatio: 3,
-		Seed:         7,
-	}, shards)
+	sess, err := pipeline.StartPartitionedStream(feed, cfg, shards)
 	if err != nil {
 		panic(err)
 	}
@@ -109,11 +192,16 @@ func main() {
 			ctx := prodCtx
 			metrics := make([]float64, 1)
 			attrs := make([]int32, 2)
-			for sent := 0; sent < 60_000; {
+			for sent := 0; sent < perProducer; {
 				batch := pr.GetBatch()
 				for i := 0; i < 2000; i++ {
-					dev := fmt.Sprintf("d%d", rng.IntN(200))
-					ver := versions[rng.IntN(len(versions))]
+					var dev, ver string
+					if sampler != nil {
+						dev, ver = sampler.sample(rng)
+					} else {
+						dev = fmt.Sprintf("d%d", rng.IntN(200))
+						ver = versions[rng.IntN(len(versions))]
+					}
 					drain := 10 + rng.NormFloat64()*2
 					switch {
 					case dev == "d7" && ver == "2.26.3" && rng.Float64() < 0.8:
@@ -140,15 +228,24 @@ func main() {
 		}(p)
 	}
 
-	// Poll the live view while producers are still pushing.
-	for i := 0; i < 3; i++ {
-		time.Sleep(30 * time.Millisecond)
+	// Poll the live view while producers are still pushing, recording
+	// the routing trajectory.
+	var traj []pollSample
+	for i := 0; i < 5; i++ {
+		time.Sleep(20 * time.Millisecond)
 		res, err := sess.Poll()
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("live poll %d: %d points in, %d outliers, %d explanations (elided %d snapshot clones so far)\n",
-			i+1, res.Stats.Points, res.Stats.Outliers, len(res.Explanations), res.Cache.SnapshotsElided)
+		s := pollSample{points: res.Stats.Points, epoch: res.Stats.RoutingEpoch, moves: res.Stats.BucketMoves}
+		if res.Shards != nil {
+			s.imbalance = res.Shards.Imbalance
+		}
+		traj = append(traj, s)
+		if verbose {
+			fmt.Printf("live poll %d: %d points in, %d outliers, %d explanations (elided %d snapshot clones so far)\n",
+				i+1, res.Stats.Points, res.Stats.Outliers, len(res.Explanations), res.Cache.SnapshotsElided)
+		}
 	}
 
 	// Every producer has closed its partition once done, so the stream
@@ -168,6 +265,40 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	return final, traj
+}
+
+func main() {
+	chaos := flag.Bool("chaos", false, "inject seeded transient read faults, absorbed by the retry layer")
+	chaosRate := flag.Float64("chaos-rate", 0.01, "per-read transient fault probability under -chaos")
+	skew := flag.Float64("skew", 0, "Zipf exponent for device+version popularity; hot combos pinned to shard 0 (0 = uniform fleet)")
+	flag.Parse()
+
+	enc := encode.NewEncoder("device", "app_version")
+	versions := []string{"2.25.0", "2.26.0", "2.26.3"}
+	cfg := pipeline.Config{
+		Dims:         1,
+		Percentile:   0.99,
+		MinSupport:   0.05,
+		MinRiskRatio: 3,
+		Seed:         7,
+	}
+
+	var sampler *comboSampler
+	if *skew > 0 {
+		sampler = newComboSampler(*skew, enc, 200, versions)
+		// Before: the same skewed stream with the routing table pinned
+		// to the static hash — the baseline the rebalancer is judged
+		// against.
+		pinnedCfg := cfg
+		pinnedCfg.DisableRebalance = true
+		pinned, _ := runFirehose(pinnedCfg, sampler, enc, versions, *chaos, *chaosRate, false)
+		fmt.Printf("pinned baseline (zipf s=%.2f, rebalance off): hot shard %d, imbalance %.2f\n\n",
+			*skew, pinned.Shards.HotShard, pinned.Shards.Imbalance)
+	}
+
+	final, traj := runFirehose(cfg, sampler, enc, versions, *chaos, *chaosRate, true)
+
 	enc.Decorate(final.Explanations)
 	fmt.Printf("\nfinal: %d points across %d partitions -> %d shards, %d outliers\n",
 		final.Stats.Points, partitions, shards, final.Stats.Outliers)
@@ -188,6 +319,14 @@ func main() {
 	if b := final.Shards; b != nil {
 		fmt.Printf("skew: hot shard %d, imbalance %.2f, %d coordination rounds, global cutoff %.2f\n",
 			b.HotShard, b.Imbalance, b.CoordRounds, b.GlobalCutoff)
+		if b.Rebalancing {
+			fmt.Printf("routing: epoch %d, %d bucket moves; imbalance trajectory:\n", b.RoutingEpoch, b.BucketMoves)
+			for _, s := range traj {
+				fmt.Printf("  %7d points: imbalance %.2f, epoch %d, moves %d\n", s.points, s.imbalance, s.epoch, s.moves)
+			}
+			fmt.Printf("  %7d points: imbalance %.2f, epoch %d, moves %d (final)\n",
+				final.Stats.Points, b.Imbalance, b.RoutingEpoch, b.BucketMoves)
+		}
 		for i, s := range b.PerShard {
 			fmt.Printf("shard %d: %d points, %d outliers (rate %.4f), threshold %.2f (global=%v)\n",
 				i, s.Points, s.Outliers, s.OutlierRate, s.Threshold, s.GlobalThreshold)

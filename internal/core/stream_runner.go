@@ -33,6 +33,13 @@ type StreamStats struct {
 	// CoordRounds counts completed cross-shard coordination rounds
 	// (zero when no Coordinate hook was configured).
 	CoordRounds int
+	// RoutingEpoch is the skew-adaptive router's final table version (0
+	// when routing was inactive or never rebalanced), and BucketMoves
+	// the cumulative number of virtual buckets reassigned. See
+	// RebalancePolicy.
+	RoutingEpoch int64
+	// BucketMoves counts virtual-bucket reassignments across the run.
+	BucketMoves int64
 	// Ingest holds per-partition producer-side counters (queue depth,
 	// cumulative blocked time) when the partitioned source implements
 	// IngestObservable; nil otherwise. Populated when Run returns.
@@ -165,6 +172,12 @@ type StreamRunner struct {
 	// quantiles into one global classification threshold). See
 	// ShardCoordinator for the protocol and its consistency model.
 	Coordinate *ShardCoordinator
+	// Rebalance, when non-nil, enables skew-adaptive routing: points
+	// hash to virtual buckets, a coordinator-owned routing table maps
+	// buckets to shards, and hot buckets migrate off overloaded shards
+	// mid-run. Ignored when Partition is set or Shards <= 1. See
+	// RebalancePolicy for the consistency model.
+	Rebalance *RebalancePolicy
 
 	workersMu sync.Mutex // guards workers/quit against end-of-run teardown
 	workers   []*shardWorker
@@ -197,6 +210,20 @@ type StreamRunner struct {
 	liveOutliers  atomic.Int64
 	liveTicks     atomic.Int64
 	liveRounds    atomic.Int64
+	liveMoves     atomic.Int64
+
+	// Skew-adaptive routing state (nil/zero when routing is off for the
+	// run). route holds the current routing epoch, swapped whole by the
+	// coordinator; bucketLoads[partition][bucket] are the scatter-path
+	// load counters — single-writer per partition, read racily (and
+	// harmlessly) by the coordinator's window diff. rebal carries the
+	// normalized policy; coordEvery is the signal cadence for
+	// notePoints, valid whenever coordCh is non-nil (threshold
+	// coordination and rebalancing share the one coordinator goroutine).
+	route       atomic.Pointer[routeTable]
+	bucketLoads [][]atomic.Int64
+	rebal       rebalConfig
+	coordEvery  int64
 
 	// coordCh wakes the coordinator goroutine when the ingested-point
 	// count crosses a Coordinate.Every boundary; nil when coordination
@@ -424,12 +451,35 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	if partition == nil {
 		partition = HashPartition
 	}
+	// Skew-adaptive routing replaces the direct hash->shard map with
+	// hash->bucket->table->shard. The initial table is the identity
+	// layout over a bucket count that is a multiple of the shard count,
+	// so until the first rebalance (hash % V) % shards == hash % shards
+	// and placement is bit-identical to HashPartition. A custom
+	// Partition function or a single shard disables routing outright.
+	routing := r.Rebalance != nil && r.Partition == nil && shards > 1
+	if routing {
+		r.rebal = r.Rebalance.normalize(shards)
+		assign := make([]int32, r.rebal.buckets)
+		for b := range assign {
+			assign[b] = int32(b % shards)
+		}
+		r.route.Store(&routeTable{assign: assign})
+		r.bucketLoads = make([][]atomic.Int64, len(parts))
+		for i := range r.bucketLoads {
+			r.bucketLoads[i] = make([]atomic.Int64, r.rebal.buckets)
+		}
+	} else {
+		r.route.Store(nil)
+		r.bucketLoads = nil
+	}
 
 	r.livePoints.Store(0)
 	r.liveOutPoints.Store(0)
 	r.liveOutliers.Store(0)
 	r.liveTicks.Store(0)
 	r.liveRounds.Store(0)
+	r.liveMoves.Store(0)
 	// Commit-offset trackers, one per checkpointable partition, seeded
 	// at the partition's current offset (nonzero on a resumed source).
 	// Installed before ingestion and kept after teardown: a checkpoint
@@ -497,14 +547,23 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	// The coordinator rides the same control plane as snapshots (the
 	// snap channels) and the same teardown (quit + snapWg), so Run
 	// cannot hand the pipelines to its caller while a Collect or Apply
-	// is still touching them.
+	// is still touching them. Rebalancing shares the goroutine and its
+	// boundary signal: with threshold coordination on, rebalance rounds
+	// ride Coordinate.Every; rebalance-only runs use the policy's own
+	// cadence.
 	r.coordCh = nil
-	if r.Coordinate != nil && r.Coordinate.Every > 0 {
+	coordOn := r.Coordinate != nil && r.Coordinate.Every > 0
+	if coordOn || routing {
+		if coordOn {
+			r.coordEvery = int64(r.Coordinate.Every)
+		} else {
+			r.coordEvery = int64(r.rebal.every)
+		}
 		r.coordCh = make(chan struct{}, 1)
 		r.coordFlush = make(chan struct{})
 		r.coordDone = make(chan struct{})
 		r.snapWg.Add(1)
-		go r.coordinate(r.workers)
+		go r.coordinate(r.workers, routing)
 	}
 
 	// Arm the stop/abandon controls for this run. A RequestStop that
@@ -533,14 +592,18 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	workers := r.workers
 	for pi, ps := range parts {
 		prodWg.Add(1)
-		go func(ps PartitionStream, tracker *ackTracker, cp CheckpointablePartition) {
+		var loads []atomic.Int64
+		if routing {
+			loads = r.bucketLoads[pi]
+		}
+		go func(ps PartitionStream, tracker *ackTracker, cp CheckpointablePartition, loads []atomic.Int64) {
 			defer prodWg.Done()
 			// Producers work against this run's worker slice, never
 			// r.workers: after an Abandon, Run tears r.workers down
 			// while an abandoned producer may still be routing a batch
 			// it had already read, and that late send must hit a valid
 			// (if ignored) channel rather than a nil slice.
-			if err := r.ingestPartition(ctx, ps, workers, pool, batch, partition, tracker, cp); err != nil {
+			if err := r.ingestPartition(ctx, ps, workers, pool, batch, partition, tracker, cp, loads); err != nil {
 				errMu.Lock()
 				if ingestErr == nil {
 					ingestErr = fmt.Errorf("core: source: %w", err)
@@ -548,7 +611,7 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 				errMu.Unlock()
 				cancel() // a partition failure stops the whole stream
 			}
-		}(ps, trackers[pi], ckparts[pi])
+		}(ps, trackers[pi], ckparts[pi], loads)
 	}
 	prodDone := make(chan struct{})
 	go func() {
@@ -587,6 +650,10 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 	stats := StreamStats{PerShard: make([]RunStats, shards)}
 	stats.Points = int(r.livePoints.Load())
 	stats.CoordRounds = int(r.liveRounds.Load())
+	if rt := r.route.Load(); rt != nil {
+		stats.RoutingEpoch = rt.epoch
+		stats.BucketMoves = r.liveMoves.Load()
+	}
 	for s, w := range r.workers {
 		stats.PerShard[s] = w.exec.stats
 		stats.OutPoints += w.exec.stats.OutPoints
@@ -659,8 +726,14 @@ func (r *StreamRunner) Run() (StreamStats, error) {
 // A read abandoned mid-send (cancellation) leaves its tracker entry
 // permanently outstanding, which is correct: the committed offset must
 // not move past points that were never consumed.
-func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, workers []*shardWorker, pool *BatchPool, batch int, partition func(*Point, int) int, tracker *ackTracker, cp CheckpointablePartition) error {
+func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, workers []*shardWorker, pool *BatchPool, batch int, partition func(*Point, int) int, tracker *ackTracker, cp CheckpointablePartition, loads []atomic.Int64) error {
 	shards := len(workers)
+	// rr spreads attribute-less points round-robin across buckets (they
+	// carry no itemsets, so placement is free — pinning them to one
+	// shard, as HashPartition does, turns a metrics-only stream into a
+	// guaranteed hot spot). Local to the goroutine: no contention, and
+	// cross-partition collisions don't matter for spreading.
+	var rr uint32
 	bp, native := ps.(BatchPartition)
 	var ib *Batch // the read batch for slab-native partitions
 	if native {
@@ -734,9 +807,31 @@ func (r *StreamRunner) ingestPartition(ctx context.Context, ps PartitionStream, 
 		// shard's staged slab. The copy severs every reference to the
 		// source's memory, which is what lets the source (and ib)
 		// recycle their buffers next round.
+		//
+		// With routing active the shard comes from the bucket table
+		// instead of the direct hash — one modulo, one counter add, one
+		// array index more than the pinned path, still zero
+		// allocations. The table is loaded once per read: a rebalance
+		// published mid-batch takes effect on the next read, which only
+		// defers the move by one batch.
+		var rt *routeTable
+		if loads != nil {
+			rt = r.route.Load()
+		}
 		for i := range pts {
 			s := 0
-			if shards > 1 {
+			if rt != nil {
+				nb := uint32(len(rt.assign))
+				var b uint32
+				if len(pts[i].Attrs) == 0 {
+					b = rr % nb
+					rr++
+				} else {
+					b = hashAttrs(pts[i].Attrs) % nb
+				}
+				loads[b].Add(1)
+				s = int(rt.assign[b])
+			} else if shards > 1 {
 				s = partition(&pts[i], shards)
 			}
 			sb := staging[s]
@@ -816,15 +911,15 @@ func send(ctx context.Context, w *shardWorker, b *Batch) bool {
 }
 
 // notePoints advances the live ingested-point counter and signals the
-// coordinator when the count crosses a Coordinate.Every boundary. The
-// send is non-blocking: a signal already pending stands for this one
-// too (rounds are periodic, not queued).
+// coordinator when the count crosses a round boundary (coordEvery
+// ingested points). The send is non-blocking: a signal already pending
+// stands for this one too (rounds are periodic, not queued).
 func (r *StreamRunner) notePoints(n int64) {
 	nv := r.livePoints.Add(n)
 	if r.coordCh == nil {
 		return
 	}
-	every := int64(r.Coordinate.Every)
+	every := r.coordEvery
 	if nv/every != (nv-n)/every {
 		select {
 		case r.coordCh <- struct{}{}:
@@ -836,15 +931,31 @@ func (r *StreamRunner) notePoints(n int64) {
 // coordinate is the coordinator goroutine: on each boundary signal it
 // runs one round — collect a summary from every shard (on the shards'
 // worker goroutines, between batches), merge on this goroutine, and
-// apply the merged value back to every shard. It exits when Run closes
-// quit; a round in flight at that point is abandoned safely (reply
-// channels are buffered, and a request a worker has accepted is always
-// answered before the worker exits).
-func (r *StreamRunner) coordinate(workers []*shardWorker) {
+// apply the merged value back to every shard — followed, when routing
+// is active, by a rebalance check over the bucket load counters. It
+// exits when Run closes quit; a round in flight at that point is
+// abandoned safely (reply channels are buffered, and a request a
+// worker has accepted is always answered before the worker exits).
+func (r *StreamRunner) coordinate(workers []*shardWorker, routing bool) {
 	defer r.snapWg.Done()
 	defer close(r.coordDone)
 	reqs := make([]snapshotReq, len(workers))
 	sums := make([]any, len(workers))
+	var rb *rebalState
+	if routing {
+		rb = newRebalState(r.rebal.buckets, len(workers))
+	}
+	round := func() bool {
+		if r.Coordinate != nil {
+			if !r.coordRound(workers, reqs, sums) {
+				return false
+			}
+		}
+		if routing {
+			r.maybeRebalance(workers, rb)
+		}
+		return true
+	}
 	for {
 		select {
 		case <-r.coordCh:
@@ -852,17 +963,21 @@ func (r *StreamRunner) coordinate(workers []*shardWorker) {
 			// End-of-stream: run the round for a boundary crossed just
 			// before the last point, then retire. The workers are still
 			// serving control requests — Run waits on coordDone before
-			// closing quit — so this final round cannot wedge.
+			// closing quit — so this final round cannot wedge. The
+			// rebalance check is skipped: there is no more load to
+			// route, and a table swap here would only churn the epoch.
 			select {
 			case <-r.coordCh:
-				r.coordRound(workers, reqs, sums)
+				if r.Coordinate != nil {
+					r.coordRound(workers, reqs, sums)
+				}
 			default:
 			}
 			return
 		case <-r.quit:
 			return
 		}
-		if !r.coordRound(workers, reqs, sums) {
+		if !round() {
 			return
 		}
 	}
@@ -999,24 +1114,14 @@ func (r *StreamRunner) Snapshot(hints []any) ([]any, error) {
 // always land on the same shard, so a full attribute set's occurrences
 // concentrate there; sub-combinations of multi-attribute points still
 // span shards, and their merged counts are exact only up to the summed
-// sketch error bounds. Points without attributes land on shard 0.
+// sketch error bounds. Points without attributes land on shard 0 (the
+// skew-adaptive router instead spreads them round-robin — they carry
+// no itemsets, so their placement never affects explanations).
 func HashPartition(p *Point, shards int) int {
 	if len(p.Attrs) == 0 {
 		return 0
 	}
-	h := uint32(2166136261)
-	for _, a := range p.Attrs {
-		v := uint32(a)
-		h ^= v & 0xff
-		h *= 16777619
-		h ^= (v >> 8) & 0xff
-		h *= 16777619
-		h ^= (v >> 16) & 0xff
-		h *= 16777619
-		h ^= v >> 24
-		h *= 16777619
-	}
-	return int(h % uint32(shards))
+	return int(hashAttrs(p.Attrs) % uint32(shards))
 }
 
 // run is the worker loop: consume sub-batches, serve snapshot

@@ -100,6 +100,27 @@ type Config struct {
 	// only to reproduce the lockstep behavior of earlier versions.
 	// Irrelevant (and inactive) when coordination itself is off.
 	DisableRetrainStagger bool
+	// RoutingBuckets is the skew-adaptive router's requested virtual-
+	// bucket count (default core.DefaultRoutingBuckets = 256; the
+	// effective count is rounded up to a multiple of the shard count so
+	// that, until the first rebalance, placement is bit-identical to the
+	// direct hash).
+	RoutingBuckets int
+	// RebalanceAbove is the load-imbalance trigger for skew-adaptive
+	// routing (default 1.5): when the hottest healthy shard's windowed
+	// load share times the shard count exceeds it, the coordinator
+	// migrates hot buckets to cooler shards and publishes a new routing
+	// epoch. See core.RebalancePolicy.
+	RebalanceAbove float64
+	// DisableRebalance turns skew-adaptive routing off, pinning every
+	// attribute set to its direct-hash shard for the whole run. Set it
+	// when bit-exact cross-run reproducibility matters more than load
+	// balance (rebalance rounds fire asynchronously with ingest, so
+	// routed runs can split an attribute set's counts across shards at
+	// slightly different points run-to-run). Rebalancing is on by
+	// default for multi-shard streaming runs and inactive for one shard
+	// or a custom Partition function.
+	DisableRebalance bool
 	// DisableGlobalThreshold turns coordination off, restoring the
 	// pre-coordination per-shard percentile cutoffs. Set it when
 	// bit-exact reproducibility across runs matters more than answer

@@ -86,6 +86,23 @@ type ShardBreakdown struct {
 	// Degraded mirrors ShardedResult.Degraded for JSON consumers of the
 	// breakdown alone: true when any PerShard entry carries an Error.
 	Degraded bool `json:"degraded"`
+	// Rebalancing reports whether skew-adaptive routing is active for
+	// this run (multi-shard, no custom partitioner, not disabled).
+	Rebalancing bool `json:"rebalancing"`
+	// RoutingEpoch is the routing table version: 0 until the first
+	// rebalance, +1 per published table. Watching it alongside
+	// Imbalance shows the rebalancer converging.
+	RoutingEpoch int64 `json:"routingEpoch"`
+	// BucketMoves is the cumulative number of virtual buckets migrated
+	// between shards.
+	BucketMoves int64 `json:"bucketMoves"`
+}
+
+// routingView is the router's progress as carried into a breakdown.
+type routingView struct {
+	active bool
+	epoch  int64
+	moves  int64
 }
 
 // coordState is the session-visible side of threshold coordination:
@@ -221,6 +238,16 @@ func newStreamRunner(src core.Source, parts core.PartitionedSource, cfg Config, 
 		BatchSize: cfg.BatchSize,
 		Decay:     core.DecayPolicy{EveryPoints: cfg.DecayEveryPoints},
 	}
+	if shards > 1 && !cfg.DisableRebalance {
+		// Skew-adaptive routing is on by default for multi-shard runs;
+		// rebalance checks ride the coordinator cadence (and keep that
+		// cadence even when threshold coordination is disabled).
+		r.Rebalance = &core.RebalancePolicy{
+			Buckets: cfg.RoutingBuckets,
+			Above:   cfg.RebalanceAbove,
+			Every:   cfg.CoordinateEvery,
+		}
+	}
 	if coord != nil && coord.enabled {
 		// Round scratch, all owned by the coordinator's serialized
 		// rounds: per-shard score buffers (filled on the shard's worker
@@ -297,15 +324,18 @@ func finalShardStatuses(stats core.StreamStats, classifiers []core.Classifier) [
 }
 
 // newShardBreakdown folds per-shard statuses into the breakdown:
-// hottest shard, imbalance vs the fair share, and the coordination
-// view.
-func newShardBreakdown(per []ShardStatus, coord *coordState, rounds int) *ShardBreakdown {
+// hottest shard, imbalance vs the fair share, the coordination view,
+// and the skew-adaptive router's progress.
+func newShardBreakdown(per []ShardStatus, coord *coordState, rounds int, routing routingView) *ShardBreakdown {
 	b := &ShardBreakdown{
 		PerShard:     per,
 		HotShard:     -1,
 		Coordinated:  coord != nil && coord.enabled,
 		CoordRounds:  rounds,
 		GlobalCutoff: math.NaN(),
+		Rebalancing:  routing.active,
+		RoutingEpoch: routing.epoch,
+		BucketMoves:  routing.moves,
 	}
 	if cut, ok := coord.cutoff(); ok {
 		b.GlobalCutoff = cut
@@ -337,6 +367,14 @@ func newShardBreakdown(per []ShardStatus, coord *coordState, rounds int) *ShardB
 		b.Imbalance = maxShare * float64(len(per))
 	}
 	return b
+}
+
+// liveRoutingView reads the skew-adaptive router's progress off the
+// runner; valid both mid-run and after Run has returned (the routing
+// table outlives the run the way the offset trackers do).
+func liveRoutingView(r *core.StreamRunner) routingView {
+	epoch, moves, ok := r.LiveRouting()
+	return routingView{active: ok, epoch: epoch, moves: moves}
 }
 
 // liveExplainers drops quarantined shards' explainers before a merge:
@@ -414,7 +452,7 @@ func runSharded(src core.Source, parts core.PartitionedSource, cfg Config, shard
 		Stats:        stats,
 		Explanations: merger.Merge(liveExplainers(explainers, stats.ShardFailures)),
 		Cache:        merger.Stats(),
-		Shards:       newShardBreakdown(finalShardStatuses(stats, classifiers), coord, stats.CoordRounds),
+		Shards:       newShardBreakdown(finalShardStatuses(stats, classifiers), coord, stats.CoordRounds, liveRoutingView(r)),
 		Degraded:     stats.Degraded,
 	}, nil
 }
@@ -554,7 +592,7 @@ func startSession(src core.Source, parts core.PartitionedSource, cfg Config, sha
 		defer close(s.done)
 		stats, err := s.runner.Run()
 		res := &ShardedResult{Stats: stats, Degraded: stats.Degraded}
-		res.Shards = newShardBreakdown(finalShardStatuses(stats, classifiers), s.coord, stats.CoordRounds)
+		res.Shards = newShardBreakdown(finalShardStatuses(stats, classifiers), s.coord, stats.CoordRounds, liveRoutingView(s.runner))
 		explainers = liveExplainers(explainers, stats.ShardFailures)
 		if err == nil || err == core.ErrStopped {
 			// The final reconciliation goes through the same merger as
@@ -631,6 +669,7 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 			live := s.runner.LiveStats()
 			perRS := s.runner.LiveShardStats(nil)
 			rounds := s.runner.LiveCoordRounds()
+			routing := liveRoutingView(s.runner)
 			// The merger and the retained snapshots are shared session
 			// state: pollMu keeps each poll's signature check, merge,
 			// and cache refresh atomic, so an epoch bump observed by a
@@ -722,12 +761,14 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 					}
 					per[i] = st
 				}
-				breakdown = newShardBreakdown(per, s.coord, rounds)
+				breakdown = newShardBreakdown(per, s.coord, rounds, routing)
 			}
 			return &ShardedResult{
 				Stats: core.StreamStats{
 					RunStats:      live,
 					CoordRounds:   rounds,
+					RoutingEpoch:  routing.epoch,
+					BucketMoves:   routing.moves,
 					Degraded:      len(failList) > 0,
 					ShardFailures: failList,
 				},
