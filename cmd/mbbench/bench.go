@@ -85,7 +85,11 @@ func benchLabeledStream(n int) [][]core.LabeledPoint {
 	return batches
 }
 
-var benchExplainCfg = explain.StreamingConfig{MinSupport: 0.005, MinRiskRatio: 1.2, DecayRate: 0.05}
+// benchExplainCfg pins PollParallelism to 1 so the committed ns/op and
+// allocs/op baselines for the serial kernels cannot drift with the
+// recording machine's GOMAXPROCS; the PollParallel kernels own the
+// parallel path and set their own W explicitly.
+var benchExplainCfg = explain.StreamingConfig{MinSupport: 0.005, MinRiskRatio: 1.2, DecayRate: 0.05, PollParallelism: 1}
 
 // warmExplainer replays the whole stream (with decay ticks) into a
 // fresh explainer.
@@ -175,6 +179,36 @@ func microBenchmarks() []benchResult {
 	noDeltaCfg := benchExplainCfg
 	noDeltaCfg.DisableDeltaMine = true
 
+	// pollParallel builds 4 warmed shard explainers (the stream dealt
+	// round-robin, shared decay clock) and measures one full merged
+	// poll per op at the given PollParallelism. DisableCache keeps
+	// every op on the full merge+mine+recount path instead of the
+	// full-hit replay a static snapshot set would otherwise take.
+	pollParallel := func(w int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := benchExplainCfg
+			cfg.DisableCache = true
+			cfg.PollParallelism = w
+			shards := make([]*explain.Streaming, 4)
+			for i := range shards {
+				shards[i] = explain.NewStreaming(cfg)
+			}
+			for i, bt := range batches {
+				shards[i%len(shards)].Consume(bt)
+				if (i+1)%64 == 0 {
+					for _, sh := range shards {
+						sh.Decay()
+					}
+				}
+			}
+			merger := explain.NewPollMerger()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				merger.MergeShared(shards)
+			}
+		}
+	}
+
 	// rebalKernel is the skew-adaptive routing workload: a Zipf stream
 	// whose hot devices all hash to shard 0 of 4, pushed by 3 producers
 	// through the full pipeline. One op is one 1024-point batch; the
@@ -199,6 +233,7 @@ func microBenchmarks() []benchResult {
 			sess, err := pipeline.StartPartitionedStream(src, pipeline.Config{
 				Dims: 1, MinSupport: 0.005, DecayEveryPoints: 100_000,
 				CoordinateEvery: 4096, DisableRebalance: pinned, Seed: 7,
+				PollParallelism: 1,
 			}, 4)
 			if err != nil {
 				panic(err)
@@ -282,6 +317,18 @@ func microBenchmarks() []benchResult {
 		// full FPGrowth re-mine per poll. Their ratio is the delta win.
 		runKernel("DeltaMine/steady-drift", steadyDrift(benchExplainCfg)),
 		runKernel("DeltaMine/steady-drift-full", steadyDrift(noDeltaCfg)),
+		// Parallel poll-path kernel: one op is one full merged poll over
+		// 4 warmed shard snapshots with the incremental cache disabled —
+		// clone + 4-leg shard merge + FPGrowth mine + canonical recount,
+		// the whole pipeline the PollParallelism workers stripe. The -w1
+		// twin runs the identical workload on the serial path; the w4/w1
+		// ns/op ratio is the parallel speedup, expected >= 1.8x on a
+		// machine with >= 4 cores (on fewer cores the two converge, and
+		// -compare only warns because go_max_procs won't match).
+		// Output-identity across W is pinned by the explain differential
+		// and golden tests, not here.
+		runKernel("PollParallel/p3s4", pollParallel(4)),
+		runKernel("PollParallel/p3s4-w1", pollParallel(1)),
 		runKernel("PushIngest/p3s4", func(b *testing.B) {
 			// Ingest-throughput kernel for the push-partitioned path:
 			// 3 concurrent producers feed a resident 4-shard session
@@ -298,6 +345,7 @@ func microBenchmarks() []benchResult {
 			src := ingest.NewPush(producers, 4)
 			sess, err := pipeline.StartPartitionedStream(src, pipeline.Config{
 				Dims: 1, MinSupport: 0.005, DecayEveryPoints: 100_000, Seed: 7,
+				PollParallelism: 1,
 			}, 4)
 			if err != nil {
 				panic(err)
@@ -356,7 +404,7 @@ func microBenchmarks() []benchResult {
 			src := ingest.NewPush(producers, 4)
 			sess, err := pipeline.StartPartitionedStream(src, pipeline.Config{
 				Dims: 1, MinSupport: 0.005, DecayEveryPoints: 100_000,
-				CoordinateEvery: 4096, Seed: 7,
+				CoordinateEvery: 4096, Seed: 7, PollParallelism: 1,
 			}, 4)
 			if err != nil {
 				panic(err)
@@ -536,6 +584,23 @@ func compareAgainstBaseline(path string, current []benchResult) error {
 		byName[b.Name] = b
 	}
 	sameHardware := base.GOARCH == runtime.GOARCH && base.NumCPU == runtime.NumCPU()
+	// Core-budget mismatch is a warning, never a failure: the
+	// PollParallel kernels' ns/op scales with GOMAXPROCS, so wall-clock
+	// ratios against a baseline recorded under a different scheduler
+	// width measure the core budget, not the code. allocs/op stays
+	// gated — the parallel paths allocate deterministically regardless
+	// of how many workers actually run concurrently. A baseline without
+	// the field (pre-PR 10 reports) is treated as unknown and warned.
+	if base.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		if base.GoMaxProcs == 0 {
+			fmt.Printf("warning: baseline %s predates go_max_procs recording; current GOMAXPROCS=%d — ns/op comparisons for parallel kernels may be misleading\n",
+				path, runtime.GOMAXPROCS(0))
+		} else {
+			fmt.Printf("warning: baseline GOMAXPROCS=%d != current GOMAXPROCS=%d — ns/op gating disabled (parallel kernels scale with the core budget)\n",
+				base.GoMaxProcs, runtime.GOMAXPROCS(0))
+		}
+		sameHardware = false
+	}
 	if sameHardware {
 		fmt.Printf("### compare — current vs %s (fail > 2.00x ns/op or allocs/op)\n", path)
 	} else {

@@ -37,6 +37,11 @@ type jsonReport struct {
 	GOOS        string           `json:"goos"`
 	GOARCH      string           `json:"goarch"`
 	NumCPU      int              `json:"num_cpu"`
+	// GoMaxProcs records the scheduler's parallelism at recording time.
+	// The PollParallel kernels scale with it, so -compare refuses to
+	// judge speedup ratios across differing core budgets (it warns
+	// instead of failing).
+	GoMaxProcs  int              `json:"go_max_procs,omitempty"`
 	StartedAt   string           `json:"started_at"` // RFC 3339
 	Experiments []jsonExperiment `json:"experiments"`
 	// Benchmarks holds the -bench micro-benchmark results (ns/op,
@@ -103,9 +108,10 @@ func main() {
 		Scale:     *scale,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		StartedAt: time.Now().UTC().Format(time.RFC3339),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
 	}
 	fmt.Printf("macrobase-go reproduction harness: %d experiment(s), scale %.3f\n\n", len(selected), *scale)
 	for _, e := range selected {

@@ -214,6 +214,7 @@ func pipelineConfig(cfg *ingest.QueryConfig) pipeline.Config {
 		RoutingBuckets:         cfg.RoutingBuckets,
 		RebalanceAbove:         cfg.RebalanceAbove,
 		DisableRebalance:       cfg.DisableRebalance,
+		PollParallelism:        cfg.PollParallelism,
 		Seed:                   cfg.Seed,
 	}
 }

@@ -303,6 +303,63 @@
 // (independent recount), with the committed corpus replayed under
 // -race in CI.
 //
+// # Parallel poll pipeline
+//
+// The caches above make most polls cheap; the polls that still pay —
+// a cold merged poll, a decay-tick fallback, a first poll after heavy
+// drift — were single-core even on machines with idle cores. The poll
+// path is therefore parallel end to end, governed by one knob
+// (pipeline.Config.PollParallelism → explain.StreamingConfig.
+// PollParallelism, default GOMAXPROCS) and one contract: ranked output
+// is reflect.DeepEqual-identical for every worker count W, and W=1
+// runs the verbatim serial code — not a unified implementation that
+// happens to use one worker — so it is bit-exact with the historical
+// path by construction. Three stages fan out:
+//
+//   - Shard merge (explain.mergeInto): the merged fold touches four
+//     disjoint structures — outlier sketch, inlier sketch, outlier
+//     tree, inlier tree — so up to four workers each run the FULL
+//     sequential fold of one leg. Deliberately not a pairwise merge
+//     tree: float addition is non-associative and a merged tree's
+//     chain order depends on insertion order, so regrouping (a+b)+c
+//     into a+(b+c) changes bits; folding each leg in the same order as
+//     the serial code, just on its own goroutine, changes none.
+//
+//   - FPGrowth mining (fptree.Tree.MineParallelWith): top-level header
+//     items are striped across W miners, each with its own recycled
+//     frame arena; per-item results land in index-addressed slots and
+//     are concatenated in the serial loop's order, making the output
+//     element-wise identical to Mine regardless of W or scheduling.
+//
+//   - Canonical recounting (cps.Counter): the ItemsetSupport passes —
+//     combination filtering, full-table and delta-table recounts — are
+//     striped the same way. Counting walks are pure reads of the node
+//     arena (each worker owns a private query-scratch Counter), counts
+//     land in index-addressed slots, and early-exit tallies are summed
+//     per worker then added once, so even the CacheStats counters are
+//     W-invariant.
+//
+// The ownership rule underneath: workers never share mutable state —
+// each owns either a disjoint structure (a merge leg) or a private
+// scratch object (a Miner, a Counter) plus exclusive index ranges of a
+// preallocated result slice — and the spawning goroutine assembles
+// results in serial order after all workers join. No atomics, no
+// channels, no locks on the hot path; allocation patterns are
+// deterministic, so the allocs/op gates hold at every W.
+//
+// The session layer turns the parallelism into latency rather than
+// contention: pipeline.StreamSession splits its old poll lock into
+// mineMu (serializes merger + retained snapshots) and pollMu (guards
+// bookkeeping), runs the merge+mine compute outside pollMu, and gives
+// a poller that finds mineMu busy a bypass path — a hint-less snapshot
+// round merged lock-free on owned throwaway clones — so one slow mine
+// no longer convoys every concurrent poller (pinned by a
+// held-lock latency test and a -race hammer with rebalancing live).
+// Determinism across W is pinned by the differential harness, the
+// fuzz corpus, and the goldens, all replayed at W∈{1,2,4}; the
+// PollParallel/p3s4 mbbench kernel and its -w1 twin measure the
+// speedup (>= 1.8x at W=4 on a 4-core machine).
+//
 // # Push-based partitioned ingest
 //
 // Fast data arrives from many producers at once, so the ingest layer

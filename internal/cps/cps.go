@@ -79,6 +79,10 @@ type Tree struct {
 	// they are scratch, not state.
 	mineTree fptree.Tree
 	miner    fptree.Miner
+	// minerPool holds the per-worker miners of MineParallel (index 0
+	// is `miner` itself so W=1 reuses the serial frames). Scratch, not
+	// state: Clone does not copy it.
+	minerPool []*fptree.Miner
 }
 
 // Journal capacity caps: a journal that records more than
@@ -426,6 +430,31 @@ func (t *Tree) Mine(minCount float64, maxItems int) []fptree.Itemset {
 	return t.mineTree.MineWith(&t.miner, minCount, maxItems)
 }
 
+// MineParallel is Mine with the FPGrowth recursion fanned out over up
+// to `workers` goroutines (fptree.MineParallelWith). The path replay
+// and FP-tree build stay serial — they are a small fraction of mine
+// cost — and the per-worker miners are pooled on the tree, so
+// steady-state parallel mines allocate only the output itemsets plus
+// the per-item result slots. workers <= 1 is exactly Mine.
+func (t *Tree) MineParallel(minCount float64, maxItems int, workers int) []fptree.Itemset {
+	if workers <= 1 {
+		return t.Mine(minCount, maxItems)
+	}
+	t.extractPaths()
+	t.pathSlices = t.pathSlices[:0]
+	for i := 0; i < t.numPaths(); i++ {
+		t.pathSlices = append(t.pathSlices, t.path(i))
+	}
+	fptree.BuildInto(&t.mineTree, t.pathSlices, t.pathW, minCount)
+	if len(t.minerPool) == 0 {
+		t.minerPool = append(t.minerPool, &t.miner)
+	}
+	for len(t.minerPool) < workers {
+		t.minerPool = append(t.minerPool, &fptree.Miner{})
+	}
+	return t.mineTree.MineParallelWith(t.minerPool[:workers], minCount, maxItems)
+}
+
 // ItemsetSupport returns the decayed weight of transactions containing
 // every item in items, walking the node-links of the deepest-ranked
 // member (the same itemtree.Support traversal fptree uses).
@@ -533,4 +562,55 @@ func (t *Tree) Clone() *Tree {
 		overflow: t.jl.overflow,
 	}
 	return c
+}
+
+// Counter answers ItemsetSupport queries over a tree through private
+// scratch, so multiple Counters may query the same tree concurrently —
+// the underlying chain walks (itemtree.Support/SupportCapped) are pure
+// reads. The only requirement is the usual reader rule: no mutating
+// tree method (Insert, Restructure, Merge, Decay) and no scratch-using
+// tree method (Mine, ItemsetSupport, ForEachPath) may run while
+// Counters are active. Results are bit-identical to the tree's own
+// ItemsetSupport/ItemsetSupportCapped.
+type Counter struct {
+	tree *Tree
+	buf  []int32
+}
+
+// Retarget points the counter at a tree, keeping its scratch. A
+// zero-value Counter is usable after Retarget.
+func (c *Counter) Retarget(t *Tree) { c.tree = t }
+
+// Support is ItemsetSupport on the counter's tree.
+func (c *Counter) Support(items []int32) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	t := c.tree
+	q := append(c.buf[:0], items...)
+	c.buf = q
+	for _, it := range q {
+		if t.rankOf(it) < 0 {
+			return 0
+		}
+	}
+	itemtree.SortByRankDesc(q, t.rank)
+	return t.arena.Support(q, t.rank)
+}
+
+// SupportCapped is ItemsetSupportCapped on the counter's tree.
+func (c *Counter) SupportCapped(items []int32, cap float64) (float64, bool) {
+	if len(items) == 0 {
+		return 0, false
+	}
+	t := c.tree
+	q := append(c.buf[:0], items...)
+	c.buf = q
+	for _, it := range q {
+		if t.rankOf(it) < 0 {
+			return 0, false
+		}
+	}
+	itemtree.SortByRankDesc(q, t.rank)
+	return t.arena.SupportCapped(q, t.rank, cap)
 }

@@ -108,44 +108,78 @@ func genDiffBatch(rng *rand.Rand) []core.LabeledPoint {
 	return batch
 }
 
-// runDiffSequential replays ops against cached and uncached explainers
-// and returns a description of the first divergence ("" = none).
+// diffParallelisms are the PollParallelism values every differential
+// replay runs side by side: W=1 is the serial reference path, W=2 and
+// W=4 exercise the striped merge/mine/recount workers. Every poll must
+// be reflect.DeepEqual-identical across all of them (and to the
+// cache-disabled reference), pinning the parallel pipeline's
+// determinism contract.
+var diffParallelisms = []int{1, 2, 4}
+
+// runDiffSequential replays ops against uncached W=1 reference plus
+// cached explainers at each PollParallelism, and returns a description
+// of the first divergence ("" = none).
 func runDiffSequential(cfg StreamingConfig, ops []diffOp) string {
 	plainCfg := cfg
 	plainCfg.DisableCache = true
-	cached, plain := NewStreaming(cfg), NewStreaming(plainCfg)
+	plainCfg.PollParallelism = 1
+	plain := NewStreaming(plainCfg)
+	cached := make([]*Streaming, len(diffParallelisms))
+	for i, w := range diffParallelisms {
+		wcfg := cfg
+		wcfg.PollParallelism = w
+		cached[i] = NewStreaming(wcfg)
+	}
 	for i, op := range ops {
 		switch op.kind {
 		case diffConsume:
-			cached.Consume(op.batch)
 			plain.Consume(op.batch)
+			for _, c := range cached {
+				c.Consume(op.batch)
+			}
 		case diffDecay:
-			cached.Decay()
 			plain.Decay()
+			for _, c := range cached {
+				c.Decay()
+			}
 		case diffPoll:
-			got, want := cached.Explanations(), plain.Explanations()
-			if !reflect.DeepEqual(got, want) {
-				return fmt.Sprintf("op %d (poll): cached %d exps != plain %d exps\ncached: %v\nplain:  %v",
-					i, len(got), len(want), got, want)
+			want := plain.Explanations()
+			for j, c := range cached {
+				got := c.Explanations()
+				if !reflect.DeepEqual(got, want) {
+					return fmt.Sprintf("op %d (poll, W=%d): cached %d exps != plain %d exps\ncached: %v\nplain:  %v",
+						i, diffParallelisms[j], len(got), len(want), got, want)
+				}
 			}
 		}
 	}
 	return ""
 }
 
-// runDiffSharded replays ops against P=3 shard trios: the cached side
-// polls through a resident PollMerger over snapshot clones (the
-// session serving path), the plain side re-merges cache-disabled
-// clones from scratch at every poll.
+// runDiffSharded replays ops against P=3 shard trios: one cached trio
+// per PollParallelism value polls through its own resident PollMerger
+// over snapshot clones (the session serving path), while the plain
+// side re-merges cache-disabled W=1 clones from scratch at every poll.
 func runDiffSharded(cfg StreamingConfig, ops []diffOp) string {
 	const p = 3
 	plainCfg := cfg
 	plainCfg.DisableCache = true
-	cached, plain := make([]*Streaming, p), make([]*Streaming, p)
+	plainCfg.PollParallelism = 1
+	plain := make([]*Streaming, p)
 	for i := 0; i < p; i++ {
-		cached[i], plain[i] = NewStreaming(cfg), NewStreaming(plainCfg)
+		plain[i] = NewStreaming(plainCfg)
 	}
-	merger := NewPollMerger()
+	cached := make([][]*Streaming, len(diffParallelisms))
+	mergers := make([]*PollMerger, len(diffParallelisms))
+	for wi, w := range diffParallelisms {
+		wcfg := cfg
+		wcfg.PollParallelism = w
+		cached[wi] = make([]*Streaming, p)
+		for i := 0; i < p; i++ {
+			cached[wi][i] = NewStreaming(wcfg)
+		}
+		mergers[wi] = NewPollMerger()
+	}
 	clones := func(ss []*Streaming) []*Streaming {
 		out := make([]*Streaming, len(ss))
 		for i, s := range ss {
@@ -165,20 +199,26 @@ func runDiffSharded(cfg StreamingConfig, ops []diffOp) string {
 				parts[sh] = append(parts[sh], op.batch[j])
 			}
 			for j := 0; j < p; j++ {
-				cached[j].Consume(parts[j])
 				plain[j].Consume(parts[j])
+				for wi := range cached {
+					cached[wi][j].Consume(parts[j])
+				}
 			}
 		case diffDecay:
 			for j := 0; j < p; j++ {
-				cached[j].Decay()
 				plain[j].Decay()
+				for wi := range cached {
+					cached[wi][j].Decay()
+				}
 			}
 		case diffPoll:
-			got := merger.Merge(clones(cached))
 			want := MergeStreamingInto(clones(plain))
-			if !reflect.DeepEqual(got, want) {
-				return fmt.Sprintf("op %d (sharded poll): cached %d exps != plain %d exps\ncached: %v\nplain:  %v",
-					i, len(got), len(want), got, want)
+			for wi := range cached {
+				got := mergers[wi].Merge(clones(cached[wi]))
+				if !reflect.DeepEqual(got, want) {
+					return fmt.Sprintf("op %d (sharded poll, W=%d): cached %d exps != plain %d exps\ncached: %v\nplain:  %v",
+						i, diffParallelisms[wi], len(got), len(want), got, want)
+				}
 			}
 		}
 	}

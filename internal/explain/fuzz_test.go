@@ -212,7 +212,19 @@ func runStreamScript(t *testing.T, data []byte) CacheStats {
 	t.Helper()
 	plainCfg := fuzzCfg
 	plainCfg.DisableCache = true
-	s, plain := NewStreaming(fuzzCfg), NewStreaming(plainCfg)
+	plainCfg.PollParallelism = 1
+	serialCfg := fuzzCfg
+	serialCfg.PollParallelism = 1
+	s, plain := NewStreaming(serialCfg), NewStreaming(plainCfg)
+	// Parallel twins: same cached configuration at W=2 and W=4. The
+	// striped merge/mine/recount workers must reproduce the serial
+	// ranked output bit-for-bit at every poll.
+	var twins []*Streaming
+	for _, w := range []int{2, 4} {
+		wcfg := fuzzCfg
+		wcfg.PollParallelism = w
+		twins = append(twins, NewStreaming(wcfg))
+	}
 	model := newStreamModel()
 	inserts, decays, polls := 0, 0, 0
 	for i := 0; i < len(data) && inserts < 48 && decays < 12 && polls < 10; i++ {
@@ -235,11 +247,17 @@ func runStreamScript(t *testing.T, data []byte) CacheStats {
 			}
 			s.Consume([]core.LabeledPoint{pt})
 			plain.Consume([]core.LabeledPoint{pt})
+			for _, tw := range twins {
+				tw.Consume([]core.LabeledPoint{pt})
+			}
 			model.insert(attrs, outlier)
 			inserts++
 		case op < 0xD0: // decay
 			s.Decay()
 			plain.Decay()
+			for _, tw := range twins {
+				tw.Decay()
+			}
 			model.decay()
 			decays++
 		default: // poll + compare
@@ -248,6 +266,12 @@ func runStreamScript(t *testing.T, data []byte) CacheStats {
 			if !reflect.DeepEqual(got, wantPlain) {
 				t.Fatalf("cached poll diverged from cache-disabled twin:\ncached: %v\nplain:  %v\nops %x",
 					got, wantPlain, data)
+			}
+			for _, tw := range twins {
+				if gotW := tw.Explanations(); !reflect.DeepEqual(gotW, got) {
+					t.Fatalf("W=%d poll diverged from W=1:\nW=%d: %v\nW=1:  %v\nops %x",
+						tw.cfg.PollParallelism, tw.cfg.PollParallelism, gotW, got, data)
+				}
 			}
 			want := model.expected()
 			if len(got) != len(want) {

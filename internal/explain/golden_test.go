@@ -201,19 +201,27 @@ func TestGoldenStreamingExplanations(t *testing.T) {
 		seed uint64
 	}{{"CMT", 40_000, 17}, {"Liquor", 40_000, 23}} {
 		labeled := goldenWorkload(t, w.name, w.n, w.seed)
-		t.Run(w.name+"/sequential", func(t *testing.T) {
-			cold, warm := goldenStreamingRun(labeled, cfg, 8000)
-			checkGolden(t, "golden_"+w.name+"_seq.txt", cold)
-			if warm != cold {
-				t.Errorf("warm cached poll diverged from cold poll:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
-			}
-		})
-		t.Run(w.name+"/sharded", func(t *testing.T) {
-			cold, warm := goldenShardedRun(labeled, cfg, 9000)
-			checkGolden(t, "golden_"+w.name+"_sharded.txt", cold)
-			if warm != cold {
-				t.Errorf("warm cached poll diverged from cold poll:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
-			}
-		})
+		// Every poll parallelism must reproduce the same committed golden
+		// file: the parallel poll pipeline's output is W-invariant, and
+		// W=1 is bit-exact with the historical serial path the goldens
+		// were recorded on.
+		for _, par := range []int{1, 2, 4} {
+			wcfg := cfg
+			wcfg.PollParallelism = par
+			t.Run(fmt.Sprintf("%s/sequential/W%d", w.name, par), func(t *testing.T) {
+				cold, warm := goldenStreamingRun(labeled, wcfg, 8000)
+				checkGolden(t, "golden_"+w.name+"_seq.txt", cold)
+				if warm != cold {
+					t.Errorf("warm cached poll diverged from cold poll:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+				}
+			})
+			t.Run(fmt.Sprintf("%s/sharded/W%d", w.name, par), func(t *testing.T) {
+				cold, warm := goldenShardedRun(labeled, wcfg, 9000)
+				checkGolden(t, "golden_"+w.name+"_sharded.txt", cold)
+				if warm != cold {
+					t.Errorf("warm cached poll diverged from cold poll:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+				}
+			})
+		}
 	}
 }

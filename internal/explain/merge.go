@@ -75,6 +75,107 @@ func (s *Streaming) Merge(other *Streaming) {
 	s.totalIn += other.totalIn
 }
 
+// mergeInto folds rest into dst, the reduction under every merged
+// poll. With poll parallelism > 1 the four independent summary legs —
+// outlier sketch, inlier sketch, outlier tree, inlier tree — run on
+// separate workers, each performing the identical sequential per-shard
+// fold the serial path would. A leg touches only its own dst structure
+// and reads only its own structure on each source (a tree's path
+// replay uses that tree's scratch, a sketch merge reads the source
+// read-only), so the legs commute freely across workers and the result
+// is bit-identical to the interleaved left fold of Merge. Note this is
+// deliberately NOT a pairwise merge tree over shards: float addition
+// is non-associative and merged-tree chain order depends on insertion
+// order, so reassociating the shard folds would change low-order bits
+// and canonical-recount accumulation order. Per-leg parallelism is the
+// determinism boundary — it buys up to 4-way concurrency without
+// touching any per-leg arithmetic order (the mine and recount passes
+// scale past 4; see doc.go).
+func mergeInto(dst *Streaming, rest []*Streaming) {
+	if len(rest) == 0 {
+		return
+	}
+	w := dst.cfg.parallelism()
+	if w <= 1 {
+		for _, sh := range rest {
+			dst.Merge(sh)
+		}
+		return
+	}
+	if w > 4 {
+		w = 4
+	}
+	runStriped(w, func(wk int) {
+		for leg := wk; leg < 4; leg += w {
+			switch leg {
+			case 0:
+				for _, sh := range rest {
+					dst.outAttrs.Merge(sh.outAttrs)
+				}
+			case 1:
+				for _, sh := range rest {
+					dst.inAttrs.Merge(sh.inAttrs)
+				}
+			case 2:
+				for _, sh := range rest {
+					dst.outTree.Merge(sh.outTree)
+				}
+			case 3:
+				for _, sh := range rest {
+					dst.inTree.Merge(sh.inTree)
+				}
+			}
+		}
+	})
+	for _, sh := range rest {
+		dst.totalOut += sh.totalOut
+		dst.totalIn += sh.totalIn
+	}
+}
+
+// cloneWith is Clone with the four summary-copy legs (two sketch
+// copies, two tree slab memcpys) striped across up to w workers; the
+// copied state is identical to Clone's. Used by the merger on the poll
+// hot path, where the defensive clone is the serial head of an
+// otherwise parallel poll.
+func (s *Streaming) cloneWith(w int) *Streaming {
+	if w <= 1 {
+		return s.Clone()
+	}
+	if w > 4 {
+		w = 4
+	}
+	c := &Streaming{
+		cfg:      s.cfg,
+		totalOut: s.totalOut,
+		totalIn:  s.totalIn,
+
+		mineCache:      s.mineCache,
+		mineCacheMin:   s.mineCacheMin,
+		mineCacheEpoch: s.mineCacheEpoch,
+		mineCacheOK:    s.mineCacheOK,
+		mineCacheCanon: s.mineCacheCanon,
+		fullCache:      s.fullCache,
+		fullCacheKey:   s.fullCacheKey,
+		fullCacheOK:    s.fullCacheOK,
+	}
+	runStriped(w, func(wk int) {
+		for leg := wk; leg < 4; leg += w {
+			switch leg {
+			case 0:
+				c.outAttrs = s.outAttrs.Clone()
+			case 1:
+				c.inAttrs = s.inAttrs.Clone()
+			case 2:
+				c.outTree = s.outTree.Clone()
+			case 3:
+				c.inTree = s.inTree.Clone()
+			}
+		}
+	})
+	return c
+}
+
 // MergeStreaming reconciles per-shard explainer states into one ranked
 // explanation set. With a single shard it queries the state directly
 // (no clone), so a one-shard sharded run reproduces sequential EWS
@@ -101,9 +202,7 @@ func MergeStreamingInto(shards []*Streaming) []core.Explanation {
 		return nil
 	}
 	m := shards[0]
-	for _, sh := range shards[1:] {
-		m.Merge(sh)
-	}
+	mergeInto(m, shards[1:])
 	return m.Explanations()
 }
 
@@ -251,7 +350,7 @@ func (m *PollMerger) merge(shards []*Streaming, owned bool) []core.Explanation {
 		// Force-disabled sessions skip every incremental path; the
 		// merger still counts the full mines its polls trigger.
 		if !owned && len(shards) > 1 {
-			shards = append([]*Streaming{shards[0].Clone()}, shards[1:]...)
+			shards = append([]*Streaming{shards[0].cloneWith(shards[0].cfg.parallelism())}, shards[1:]...)
 		}
 		exps := MergeStreamingInto(shards)
 		m.stats.Add(shards[0].stats)
@@ -310,11 +409,9 @@ func (m *PollMerger) merge(shards []*Streaming, owned bool) []core.Explanation {
 		// the retained snapshots' summary state stays pristine. (With
 		// one shard there is no fold; Explanations only refreshes
 		// dst's internal caches, which retained snapshots tolerate.)
-		dst = shards[0].Clone()
+		dst = shards[0].cloneWith(shards[0].cfg.parallelism())
 	}
-	for _, sh := range shards[1:] {
-		dst.Merge(sh)
-	}
+	mergeInto(dst, shards[1:])
 	if outSame && m.mineOK {
 		// Every outlier side is unchanged, so the merged outlier tree —
 		// a deterministic fold of the per-shard trees — is identical to
@@ -333,15 +430,7 @@ func (m *PollMerger) merge(shards []*Streaming, owned bool) []core.Explanation {
 	// cumulative explainer counters — is what this poll contributed.
 	pre := dst.stats
 	exps := dst.Explanations()
-	delta := dst.stats
-	delta.FullHits -= pre.FullHits
-	delta.MineReuses -= pre.MineReuses
-	delta.FullMines -= pre.FullMines
-	delta.DeltaMines -= pre.DeltaMines
-	delta.JournalOverflows -= pre.JournalOverflows
-	delta.EarlyExits -= pre.EarlyExits
-	delta.SnapshotsElided -= pre.SnapshotsElided
-	m.stats.Add(delta)
+	m.stats.Add(dst.stats.Sub(pre))
 	// Harvest the merged mine for the next poll and remember the
 	// pre-merge shard signatures it corresponds to.
 	m.mineTab, m.mineMin, m.mineOK = dst.mineCache, dst.mineCacheMin, dst.mineCacheOK

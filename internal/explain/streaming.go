@@ -57,6 +57,14 @@ type StreamingConfig struct {
 	// point, with a safety margin); the knob exists for testing and
 	// measurement.
 	DisableEarlyExit bool
+	// PollParallelism is the worker count for the poll-path compute:
+	// the shard-merge legs, the FPGrowth mine, and the canonical
+	// recount passes. 0 resolves to runtime.GOMAXPROCS(0); 1 pins
+	// today's exact serial code path. Ranked output is identical for
+	// every value — workers only split index-addressed work whose
+	// per-element arithmetic never changes (see doc.go, "Parallel poll
+	// pipeline").
+	PollParallelism int
 }
 
 func (c StreamingConfig) withDefaults() StreamingConfig {
@@ -136,6 +144,14 @@ type Streaming struct {
 	stagedMin   float64
 	stagedPaths [][]int32
 	stagedOK    bool
+
+	// Parallel poll scratch (PollParallelism > 1 only): per-worker
+	// tree counters with private query buffers, the verdict slots of
+	// the striped combination-filter pass, and per-worker early-exit
+	// tallies. Scratch, not state: Clone does not copy it.
+	counters  []*cps.Counter
+	verdicts  []comboVerdict
+	exitTally []int64
 }
 
 // cacheKey captures every input of Explanations that can change
@@ -205,6 +221,20 @@ func (c *CacheStats) Add(o CacheStats) {
 	c.JournalOverflows += o.JournalOverflows
 	c.EarlyExits += o.EarlyExits
 	c.SnapshotsElided += o.SnapshotsElided
+}
+
+// Sub returns c minus o field-wise: the per-call delta between two
+// cumulative snapshots of the same counter set.
+func (c CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{
+		FullHits:         c.FullHits - o.FullHits,
+		MineReuses:       c.MineReuses - o.MineReuses,
+		FullMines:        c.FullMines - o.FullMines,
+		DeltaMines:       c.DeltaMines - o.DeltaMines,
+		JournalOverflows: c.JournalOverflows - o.JournalOverflows,
+		EarlyExits:       c.EarlyExits - o.EarlyExits,
+		SnapshotsElided:  c.SnapshotsElided - o.SnapshotsElided,
+	}
 }
 
 // CacheStats reports how this explainer's Explanations calls were
@@ -376,51 +406,58 @@ func (s *Streaming) Explanations() []core.Explanation {
 
 	// Multi-attribute combinations: obtain the current table — every
 	// itemset of ≥2 attributes with canonical support ≥ minCount —
-	// then filter against the inlier side.
+	// then filter against the inlier side. With PollParallelism > 1
+	// the inlier walks run striped across workers; per-itemset walks
+	// are independent given private query scratch, so the verdicts —
+	// and the assembled output — are bit-identical to the serial loop.
 	tab := s.combinationTable(key.outEpoch, minCount, staged, stagedTab, stagedMin, stagedPaths)
-	for _, is := range tab {
-		if len(is.Items) < 2 {
-			continue
-		}
-		ok := true
-		for _, it := range is.Items {
-			if int(it) >= len(s.qualified) || !s.qualified[it] {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		tested++
-		var ai float64
-		if s.cfg.DisableEarlyExit {
-			ai = s.inTree.ItemsetSupport(is.Items)
-		} else {
-			var exceeded bool
-			ai, exceeded = s.inTree.ItemsetSupportCapped(is.Items,
-				inlierBreakEven(is.Count, s.totalOut, s.totalIn, s.cfg.MinRiskRatio))
-			if exceeded {
-				// Past break-even the risk ratio is decisively below
-				// MinRiskRatio no matter how much higher the true
-				// inlier count is; the filter below would reject.
-				s.stats.EarlyExits++
+	if w := s.cfg.parallelism(); w > 1 && len(tab) > 1 {
+		exps, tested = s.filterCombinationsParallel(tab, w, exps, tested)
+	} else {
+		for _, is := range tab {
+			if len(is.Items) < 2 {
 				continue
 			}
+			ok := true
+			for _, it := range is.Items {
+				if int(it) >= len(s.qualified) || !s.qualified[it] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			tested++
+			var ai float64
+			if s.cfg.DisableEarlyExit {
+				ai = s.inTree.ItemsetSupport(is.Items)
+			} else {
+				var exceeded bool
+				ai, exceeded = s.inTree.ItemsetSupportCapped(is.Items,
+					inlierBreakEven(is.Count, s.totalOut, s.totalIn, s.cfg.MinRiskRatio))
+				if exceeded {
+					// Past break-even the risk ratio is decisively below
+					// MinRiskRatio no matter how much higher the true
+					// inlier count is; the filter below would reject.
+					s.stats.EarlyExits++
+					continue
+				}
+			}
+			rr := RiskRatio(is.Count, ai, s.totalOut, s.totalIn)
+			if rr < s.cfg.MinRiskRatio {
+				continue
+			}
+			exps = append(exps, core.Explanation{
+				ItemIDs:       is.Items,
+				Support:       is.Count / s.totalOut,
+				RiskRatio:     rr,
+				OutlierCount:  is.Count,
+				InlierCount:   ai,
+				TotalOutliers: s.totalOut,
+				TotalInliers:  s.totalIn,
+			})
 		}
-		rr := RiskRatio(is.Count, ai, s.totalOut, s.totalIn)
-		if rr < s.cfg.MinRiskRatio {
-			continue
-		}
-		exps = append(exps, core.Explanation{
-			ItemIDs:       is.Items,
-			Support:       is.Count / s.totalOut,
-			RiskRatio:     rr,
-			OutlierCount:  is.Count,
-			InlierCount:   ai,
-			TotalOutliers: s.totalOut,
-			TotalInliers:  s.totalIn,
-		})
 	}
 	attachCIs(exps, s.cfg.Confidence, s.cfg.Bonferroni, tested)
 	Rank(exps)
@@ -507,14 +544,43 @@ func (s *Streaming) storeTable(tab []fptree.Itemset, minCount float64, outEpoch 
 // between FPGrowth's accumulation order and the canonical counting
 // walk can never hide a qualifying candidate from discovery.
 func (s *Streaming) fullTable(minCount float64) []fptree.Itemset {
-	mined := s.outTree.Mine(minCount*(1-1e-6), s.cfg.MaxItems)
-	tab := make([]fptree.Itemset, 0, len(mined))
-	for _, is := range mined {
-		if len(is.Items) < 2 {
-			continue // singles are covered by the sketches
+	w := s.cfg.parallelism()
+	if w <= 1 {
+		mined := s.outTree.Mine(minCount*(1-1e-6), s.cfg.MaxItems)
+		tab := make([]fptree.Itemset, 0, len(mined))
+		for _, is := range mined {
+			if len(is.Items) < 2 {
+				continue // singles are covered by the sketches
+			}
+			if ao := s.outTree.ItemsetSupport(is.Items); ao >= minCount {
+				tab = append(tab, fptree.Itemset{Items: is.Items, Count: ao})
+			}
 		}
-		if ao := s.outTree.ItemsetSupport(is.Items); ao >= minCount {
-			tab = append(tab, fptree.Itemset{Items: is.Items, Count: ao})
+		return tab
+	}
+	// Parallel path: fan the FPGrowth recursion over w workers
+	// (element-wise identical output), then recount striped. Per-slot
+	// counts are assembled in mined order, so the table matches the
+	// serial build entry for entry.
+	mined := s.outTree.MineParallel(minCount*(1-1e-6), s.cfg.MaxItems, w)
+	counts := make([]float64, len(mined))
+	s.ensureCounters(w)
+	runStriped(w, func(wk int) {
+		c := s.counters[wk]
+		c.Retarget(s.outTree)
+		for idx := wk; idx < len(mined); idx += w {
+			if len(mined[idx].Items) >= 2 {
+				counts[idx] = c.Support(mined[idx].Items)
+			}
+		}
+	})
+	tab := make([]fptree.Itemset, 0, len(mined))
+	for i, is := range mined {
+		if len(is.Items) < 2 {
+			continue
+		}
+		if counts[i] >= minCount {
+			tab = append(tab, fptree.Itemset{Items: is.Items, Count: counts[i]})
 		}
 	}
 	return tab
@@ -585,6 +651,59 @@ func (s *Streaming) deltaTable(base []fptree.Itemset, paths [][]int32, minCount 
 		}
 	}
 	tab = make([]fptree.Itemset, 0, len(base)+len(cand))
+	if w := s.cfg.parallelism(); w > 1 && len(base)+len(cand) > 1 {
+		// Parallel recount: a serial mark phase decides per-entry
+		// actions (map mutation stays single-threaded), the targeted
+		// support walks run striped with private scratch, and the
+		// assembly re-reads the slots in the serial loops' order — so
+		// the table is identical to the serial path's, entry for entry.
+		needs := make([]bool, len(base))
+		for i, is := range base {
+			k := itemKey(is.Items)
+			if _, touched := cand[k]; touched {
+				delete(cand, k) // recounted here, not again below
+				needs[i] = true
+			} else if !keepUntouched {
+				needs[i] = true
+			}
+		}
+		candList := make([][]int32, 0, len(cand))
+		for _, items := range cand {
+			candList = append(candList, items)
+		}
+		counts := make([]float64, len(base)+len(candList))
+		s.ensureCounters(w)
+		runStriped(w, func(wk int) {
+			c := s.counters[wk]
+			c.Retarget(s.outTree)
+			for idx := wk; idx < len(counts); idx += w {
+				if idx < len(base) {
+					if needs[idx] {
+						counts[idx] = c.Support(base[idx].Items)
+					}
+				} else {
+					counts[idx] = c.Support(candList[idx-len(base)])
+				}
+			}
+		})
+		for i, is := range base {
+			if !needs[i] {
+				if is.Count >= minCount {
+					tab = append(tab, is)
+				}
+				continue
+			}
+			if counts[i] >= minCount {
+				tab = append(tab, fptree.Itemset{Items: is.Items, Count: counts[i]})
+			}
+		}
+		for j, items := range candList {
+			if ao := counts[len(base)+j]; ao >= minCount {
+				tab = append(tab, fptree.Itemset{Items: items, Count: ao})
+			}
+		}
+		return tab, true
+	}
 	for _, is := range base {
 		k := itemKey(is.Items)
 		if _, touched := cand[k]; touched {

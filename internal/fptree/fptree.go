@@ -23,6 +23,7 @@ package fptree
 
 import (
 	"slices"
+	"sync"
 
 	"macrobase/internal/itemtree"
 )
@@ -224,6 +225,84 @@ func (t *Tree) MineWith(m *Miner, minCount float64, maxItems int) []Itemset {
 		slices.Sort(out[i].Items)
 	}
 	return out
+}
+
+// MineParallelWith mines with up to len(miners) concurrent workers,
+// each owning one Miner (its private conditional-tree frames and
+// scratch). The top-level header items are striped across workers —
+// every FPGrowth pattern ends in exactly one top-level item, so the
+// per-item recursions are independent given read-only access to this
+// tree (ChainCount, conditionalInto, and the prebuilt rank->id table
+// never mutate the parent during mining). Per-item outputs land in
+// index-addressed slots and are concatenated in the serial loop's
+// item order, so the returned slice is element-wise identical to
+// MineWith's regardless of worker count.
+func (t *Tree) MineParallelWith(miners []*Miner, minCount float64, maxItems int) []Itemset {
+	n := len(t.order)
+	w := len(miners)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if len(miners) == 0 {
+			var m Miner
+			return t.MineWith(&m, minCount, maxItems)
+		}
+		return t.MineWith(miners[0], minCount, maxItems)
+	}
+	// Materialize the shared rank->id table before workers read it
+	// concurrently; it is immutable for the rest of this build.
+	t.idByRank()
+	perItem := make([][]Itemset, n)
+	work := func(wk int) {
+		m := miners[wk]
+		for i := n - 1 - wk; i >= 0; i -= w {
+			t.mineTop(m, int32(i), minCount, maxItems, &perItem[i])
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for wk := 1; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			work(wk)
+		}(wk)
+	}
+	work(0)
+	wg.Wait()
+	total := 0
+	for _, s := range perItem {
+		total += len(s)
+	}
+	out := make([]Itemset, 0, total)
+	for i := n - 1; i >= 0; i-- {
+		out = append(out, perItem[i]...)
+	}
+	return out
+}
+
+// mineTop runs one iteration of the serial mine loop — all patterns
+// ending in the top-level item at rank i — into out, with each
+// itemset canonically sorted. Safe to call concurrently for distinct
+// i with distinct miners: it only reads the parent tree.
+func (t *Tree) mineTop(m *Miner, i int32, minCount float64, maxItems int, out *[]Itemset) {
+	total := t.arena.ChainCount(i)
+	if total < minCount {
+		return
+	}
+	items := make([]int32, 0, 1)
+	items = append(items, t.idOf(t.order[i]))
+	*out = append(*out, Itemset{Items: items, Count: total})
+	if maxItems <= 0 || len(items) < maxItems {
+		cond := m.frame(0)
+		t.conditionalInto(cond, i, minCount)
+		if len(cond.order) > 0 {
+			cond.mine(m, 1, minCount, maxItems, items, out)
+		}
+	}
+	for j := range *out {
+		slices.Sort((*out)[j].Items)
+	}
 }
 
 // mine recursively grows patterns ending in each item, least frequent

@@ -60,6 +60,11 @@ type QueryConfig struct {
 	// shard for the whole run (bit-exact reproducible, but hot
 	// attribute combinations stay hot).
 	DisableRebalance bool `json:"disableRebalance,omitempty"`
+	// PollParallelism is the worker count for the poll/explain path
+	// (shard merge, FPGrowth mine, canonical recounts). Default: the
+	// server's GOMAXPROCS; 1 pins the serial poll path. Ranked output
+	// is identical for every value.
+	PollParallelism int `json:"pollParallelism,omitempty"`
 	// Seed fixes all randomized components.
 	Seed uint64 `json:"seed,omitempty"`
 }
@@ -95,6 +100,9 @@ func (c *QueryConfig) Validate() error {
 	}
 	if c.ReservoirSize == 0 {
 		c.ReservoirSize = 10_000
+	}
+	if c.PollParallelism < 0 {
+		return fmt.Errorf("ingest: pollParallelism %d must be >= 0", c.PollParallelism)
 	}
 	return nil
 }

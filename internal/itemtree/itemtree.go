@@ -8,7 +8,14 @@
 // the structural invariants, so a layout fix lands in exactly one
 // place.
 //
-// An Arena is not safe for concurrent use.
+// An Arena is not safe for concurrent use in general, with one
+// carve-out the parallel poll pipeline depends on: the read-only
+// walks (Support, SupportCapped, ChainCount) take all their scratch
+// from the caller, so any number of goroutines may run them against
+// the same arena concurrently, provided no mutating method (Insert,
+// Decay, Reset, Clone target) runs at the same time. The reusable
+// per-tree scratch that makes the *owning* trees single-threaded
+// lives in cps/fptree, not here.
 package itemtree
 
 import "slices"

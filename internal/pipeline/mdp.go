@@ -8,6 +8,8 @@
 package pipeline
 
 import (
+	"runtime"
+
 	"macrobase/internal/classify"
 	"macrobase/internal/core"
 	"macrobase/internal/explain"
@@ -80,6 +82,14 @@ type Config struct {
 	// (explain.StreamingConfig.DisableEarlyExit). Output is identical
 	// either way.
 	DisableExplainEarlyExit bool
+	// PollParallelism is the worker count for the poll/explain path:
+	// the shard-merge legs, the FPGrowth mine, and the canonical
+	// recount passes all fan out across this many goroutines
+	// (explain.StreamingConfig.PollParallelism). Default
+	// runtime.GOMAXPROCS(0); 1 pins the serial poll path bit-exactly.
+	// Ranked output is identical for every value — the knob buys poll
+	// latency with cores, nothing else.
+	PollParallelism int
 	// CoordinateEvery is the cross-shard threshold coordination period
 	// in ingested points (default 25_000): every so many points the
 	// coordinator collects each shard's score-quantile summary, merges
@@ -163,6 +173,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoordinateEvery == 0 {
 		c.CoordinateEvery = 25_000
+	}
+	if c.PollParallelism == 0 {
+		c.PollParallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

@@ -276,12 +276,19 @@ func TestSnapshotElisionCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Drive polls until quiescence: ingest finished (points all in)
-	// and two consecutive polls served from the cache (a full hit
-	// implies no shard moved between them).
+	// Drive polls until quiescence. Stats.Points counts at ingest time,
+	// so it can report completion while shard workers are still
+	// consuming; anchor instead on the per-shard counters, which bump at
+	// consume start on the worker goroutine — the same goroutine that
+	// serves snapshots between batches. Two consecutive polls with the
+	// full count consumed guarantee the second poll's merged state is
+	// final (the first poll proved the last batch had started; any later
+	// serve runs after it finished), after which every further poll must
+	// be a full cache hit.
 	var prev *ShardedResult
 	deadline := time.Now().Add(10 * time.Second)
-	for {
+	quiesced := 0
+	for quiesced < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("stream did not quiesce")
 		}
@@ -289,12 +296,31 @@ func TestSnapshotElisionCounters(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Stats.Points >= len(d.Points) && prev != nil && res.Cache.FullHits > prev.Cache.FullHits {
-			prev = res
-			break
+		consumed := 0
+		if res.Shards != nil {
+			for _, s := range res.Shards.PerShard {
+				consumed += s.Points
+			}
+		}
+		if consumed >= len(d.Points) {
+			quiesced++
+		} else {
+			quiesced = 0
+			time.Sleep(time.Millisecond)
 		}
 		prev = res
-		time.Sleep(time.Millisecond)
+	}
+	// State is frozen now; the very next poll scores the full hit the
+	// steady-state loop below counts from.
+	{
+		res, err := sess.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cache.FullHits <= prev.Cache.FullHits {
+			t.Fatalf("poll after quiescence was not a full hit: %+v -> %+v", prev.Cache, res.Cache)
+		}
+		prev = res
 	}
 	if len(prev.Explanations) == 0 {
 		t.Fatal("no explanations at quiescence; the elision check below would be vacuous")

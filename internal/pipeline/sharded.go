@@ -164,6 +164,7 @@ func newShardPipeline(cfg Config, shard, shards int) core.ShardPipeline {
 			DisableCache:     cfg.DisableExplainCache,
 			DisableDeltaMine: cfg.DisableDeltaMine,
 			DisableEarlyExit: cfg.DisableExplainEarlyExit,
+			PollParallelism:  cfg.PollParallelism,
 		}),
 	}
 	if pl.Classifier == nil && cfg.NewClassifier != nil {
@@ -471,20 +472,31 @@ type StreamSession struct {
 	// merger carries the incremental poll cache across polls: repeated
 	// polls over unchanged shard state are answered from the previous
 	// merged result, and inlier-only movement reuses the previous
-	// poll's mined itemset table (see explain.PollMerger). pollMu
-	// serializes merger access — snapshots themselves still fan out
-	// concurrently, so overlapping Poll calls contend only on the
-	// merge/cache step.
+	// poll's mined itemset table (see explain.PollMerger).
 	//
-	// Snapshot elision rides on the same lock: the session retains the
-	// newest snapshot clone and Signature per shard, sends the
-	// signatures as snapshot hints, and a shard whose state is
-	// provably unchanged answers with a signature-only marker instead
-	// of paying the slab-memcpy clone; the retained snapshot stands in
-	// during the merge (MergeShared never mutates its inputs' summary
-	// state, so retained snapshots stay valid across polls).
+	// Two locks split the poll path so concurrent pollers stop
+	// serializing on each other's mines. mineMu serializes the
+	// expensive compute — the merger, the retained snapshots it reads
+	// during a fold, and retain()'s slot replacement. pollMu guards
+	// only cheap bookkeeping: the signature/have hint tables, the
+	// failure map, and the session's cumulative cache counters
+	// (cstats). A poller that finds mineMu busy does not queue behind
+	// the in-flight mine; it takes the bypass path — a hint-less
+	// snapshot round merged on its own throwaway clones — trading a
+	// full mine for bounded latency. Lock order: mineMu before pollMu,
+	// never the reverse.
+	//
+	// Snapshot elision: the session retains the newest snapshot clone
+	// and Signature per shard, sends the signatures as snapshot hints,
+	// and a shard whose state is provably unchanged answers with a
+	// signature-only marker instead of paying the slab-memcpy clone;
+	// the retained snapshot stands in during the merge (MergeShared
+	// never mutates its inputs' summary state, so retained snapshots
+	// stay valid across polls).
+	mineMu sync.Mutex
 	pollMu sync.Mutex
 	merger *explain.PollMerger
+	cstats explain.CacheStats // cumulative across all serve paths; pollMu
 	snaps  []*explain.Streaming
 	sigs   []explain.Signature
 	have   []bool
@@ -601,13 +613,18 @@ func startSession(src core.Source, parts core.PartitionedSource, cfg Config, sha
 			// the counters in Cache stay cumulative across the session's
 			// whole lifetime. Run has returned, so this goroutine owns
 			// the shard explainers and the in-place fold is safe.
-			s.pollMu.Lock()
+			s.mineMu.Lock()
+			pre := s.merger.Stats()
 			res.Explanations = s.merger.Merge(explainers)
-			res.Cache = s.merger.Stats()
+			delta := s.merger.Stats().Sub(pre)
+			s.pollMu.Lock()
+			s.cstats.Add(delta)
+			res.Cache = s.cstats
 			// The final result is materialized; the retained snapshots
 			// have nothing left to serve.
 			s.snaps, s.sigs, s.have = nil, nil, nil
 			s.pollMu.Unlock()
+			s.mineMu.Unlock()
 		}
 		// Drop the runner's closure references (explainer replicas,
 		// source, config) so a session kept around for polling does not
@@ -651,142 +668,32 @@ func (s *StreamSession) Done() bool {
 // the result reports the cumulative counters).
 func (s *StreamSession) Poll() (*ShardedResult, error) {
 	for !s.Done() {
-		var hints []any
-		if s.elide {
-			s.pollMu.Lock()
-			for i, ok := range s.have {
-				if ok {
-					if hints == nil {
-						hints = make([]any, len(s.have))
-					}
-					hints[i] = s.sigs[i]
-				}
-			}
-			s.pollMu.Unlock()
+		var res *ShardedResult
+		var err error
+		var outcome pollOutcome
+		if s.mineMu.TryLock() {
+			res, err, outcome = s.pollLocked()
+			s.mineMu.Unlock()
+		} else {
+			// Another poller's merge+mine is in flight. Don't queue
+			// behind it: snapshot without hints and compute on owned
+			// throwaway clones. The bypass costs a full mine but keeps
+			// concurrent pollers' latency bounded by their own work.
+			res, err, outcome = s.pollBypass()
 		}
-		snaps, err := s.runner.Snapshot(hints)
-		if err == nil {
-			live := s.runner.LiveStats()
-			perRS := s.runner.LiveShardStats(nil)
-			rounds := s.runner.LiveCoordRounds()
-			routing := liveRoutingView(s.runner)
-			// The merger and the retained snapshots are shared session
-			// state: pollMu keeps each poll's signature check, merge,
-			// and cache refresh atomic, so an epoch bump observed by a
-			// concurrent poll can never publish a torn
-			// (signature-of-A, explanations-of-B) pair — per shard, an
-			// elided marker always pairs with the retained snapshot it
-			// was hinted from (or a newer, equally consistent one).
-			s.pollMu.Lock()
-			explainers := make([]*explain.Streaming, 0, len(snaps))
-			elided := 0
-			stale := false
-			for i, v := range snaps {
-				if f, ok := v.(core.ShardFailure); ok {
-					// The shard died: record it, drop its retained
-					// snapshot, and merge over the survivors (the merged
-					// signature count changes, so the poll cache takes a
-					// full re-mine rather than serving a stale hit).
-					if s.fails == nil {
-						s.fails = make(map[int]core.ShardFailure)
-					}
-					s.fails[i] = f
-					if i < len(s.have) {
-						s.snaps[i], s.have[i] = nil, false
-					}
-					continue
-				}
-				sn := v.(shardSnap)
-				if sn.clone != nil {
-					if s.elide {
-						s.retain(i, sn.sig, sn.clone)
-					}
-					explainers = append(explainers, sn.clone)
-				} else if i < len(s.snaps) && s.have[i] {
-					// Elision is only offered when a hint was sent, and
-					// hints are only sent for retained shards, so the
-					// retained snapshot is normally present.
-					elided++
-					explainers = append(explainers, s.snaps[i])
-				} else {
-					// The stream terminated between our snapshot round
-					// and this merge, and the final reconciliation
-					// dropped the retained snapshots this marker points
-					// at. Retry: the Done check serves the final result.
-					stale = true
-					break
-				}
+		switch outcome {
+		case pollServed:
+			return res, err
+		case pollRetry:
+			continue
+		case pollWait:
+			// ErrNotStreaming means the run either has not reached its
+			// steady state yet or just terminated; wait a beat and let
+			// the Done check distinguish the two.
+			select {
+			case <-s.done:
+			case <-time.After(200 * time.Microsecond):
 			}
-			if stale {
-				s.pollMu.Unlock()
-				continue
-			}
-			var exps []core.Explanation
-			if s.elide {
-				s.merger.NoteElidedSnapshots(elided)
-				exps = s.merger.MergeShared(explainers)
-			} else {
-				// Cache-disabled sessions take the owning fold: every
-				// snapshot is a throwaway clone.
-				exps = s.merger.Merge(explainers)
-			}
-			cstats := s.merger.Stats()
-			var failList []core.ShardFailure
-			if len(s.fails) > 0 {
-				failList = make([]core.ShardFailure, 0, len(s.fails))
-				for i := range snaps {
-					if f, ok := s.fails[i]; ok {
-						failList = append(failList, f)
-					}
-				}
-			}
-			s.pollMu.Unlock()
-			// The live skew breakdown pairs worker load counters with
-			// the thresholds read at snapshot time. A teardown that
-			// raced between the snapshot round and LiveShardStats
-			// leaves the counters empty; the final result carries the
-			// authoritative breakdown, so this poll just omits it.
-			var breakdown *ShardBreakdown
-			if len(perRS) == len(snaps) {
-				per := make([]ShardStatus, len(snaps))
-				for i, v := range snaps {
-					st := ShardStatus{Points: perRS[i].Points, Outliers: perRS[i].Outliers, Threshold: math.NaN()}
-					if st.Points > 0 {
-						st.OutlierRate = float64(st.Outliers) / float64(st.Points)
-					}
-					if f, ok := v.(core.ShardFailure); ok {
-						st.Error, st.DroppedPoints = f.Err, f.DroppedPoints
-					} else if sn := v.(shardSnap); sn.hasThr {
-						st.Threshold, st.GlobalThreshold = sn.thr, sn.glob
-					}
-					per[i] = st
-				}
-				breakdown = newShardBreakdown(per, s.coord, rounds, routing)
-			}
-			return &ShardedResult{
-				Stats: core.StreamStats{
-					RunStats:      live,
-					CoordRounds:   rounds,
-					RoutingEpoch:  routing.epoch,
-					BucketMoves:   routing.moves,
-					Degraded:      len(failList) > 0,
-					ShardFailures: failList,
-				},
-				Explanations: exps,
-				Cache:        cstats,
-				Shards:       breakdown,
-				Degraded:     len(failList) > 0,
-			}, nil
-		}
-		if err != core.ErrNotStreaming {
-			return nil, err
-		}
-		// ErrNotStreaming means the run either has not reached its
-		// steady state yet or just terminated; wait a beat and let
-		// the Done check distinguish the two.
-		select {
-		case <-s.done:
-		case <-time.After(200 * time.Microsecond):
 		}
 	}
 	s.mu.Lock()
@@ -794,13 +701,212 @@ func (s *StreamSession) Poll() (*ShardedResult, error) {
 	return s.final, s.err
 }
 
+// pollOutcome tells Poll's retry loop what a poll attempt produced.
+type pollOutcome int
+
+const (
+	pollServed pollOutcome = iota // return the result (or error)
+	pollRetry                     // state moved underfoot; try again
+	pollWait                      // not streaming; wait a beat
+)
+
+// pollLocked is the incremental poll path; the caller holds mineMu.
+// Bookkeeping (hint tables, failure map, counters) runs under pollMu,
+// but the merge+mine compute runs with pollMu released — only mineMu
+// protects the merger and the retained snapshots it reads.
+func (s *StreamSession) pollLocked() (*ShardedResult, error, pollOutcome) {
+	var hints []any
+	if s.elide {
+		s.pollMu.Lock()
+		for i, ok := range s.have {
+			if ok {
+				if hints == nil {
+					hints = make([]any, len(s.have))
+				}
+				hints[i] = s.sigs[i]
+			}
+		}
+		s.pollMu.Unlock()
+	}
+	snaps, err := s.runner.Snapshot(hints)
+	if err != nil {
+		if err != core.ErrNotStreaming {
+			return nil, err, pollServed
+		}
+		return nil, nil, pollWait
+	}
+	live := s.runner.LiveStats()
+	perRS := s.runner.LiveShardStats(nil)
+	rounds := s.runner.LiveCoordRounds()
+	routing := liveRoutingView(s.runner)
+	// Per shard, an elided marker always pairs with the retained
+	// snapshot it was hinted from (or a newer, equally consistent
+	// one): retain() only ever rolls snapshots forward, and both it
+	// and the fold below run under mineMu, so a concurrent poll can
+	// never publish a torn (signature-of-A, explanations-of-B) pair.
+	s.pollMu.Lock()
+	explainers := make([]*explain.Streaming, 0, len(snaps))
+	elided := 0
+	stale := false
+	for i, v := range snaps {
+		if f, ok := v.(core.ShardFailure); ok {
+			s.noteShardFailure(i, f)
+			continue
+		}
+		sn := v.(shardSnap)
+		if sn.clone != nil {
+			if s.elide {
+				s.retain(i, sn.sig, sn.clone)
+			}
+			explainers = append(explainers, sn.clone)
+		} else if i < len(s.snaps) && s.have[i] {
+			// Elision is only offered when a hint was sent, and
+			// hints are only sent for retained shards, so the
+			// retained snapshot is normally present.
+			elided++
+			explainers = append(explainers, s.snaps[i])
+		} else {
+			// The stream terminated between our snapshot round
+			// and this merge, and the final reconciliation
+			// dropped the retained snapshots this marker points
+			// at. Retry: the Done check serves the final result.
+			stale = true
+			break
+		}
+	}
+	s.pollMu.Unlock()
+	if stale {
+		return nil, nil, pollRetry
+	}
+	// The expensive part, outside pollMu: concurrent pollers touch
+	// only the bypass path and bookkeeping while this runs.
+	pre := s.merger.Stats()
+	var exps []core.Explanation
+	if s.elide {
+		exps = s.merger.MergeShared(explainers)
+	} else {
+		// Cache-disabled sessions take the owning fold: every
+		// snapshot is a throwaway clone.
+		exps = s.merger.Merge(explainers)
+	}
+	delta := s.merger.Stats().Sub(pre)
+	delta.SnapshotsElided += int64(elided)
+	return s.liveResult(snaps, live, perRS, rounds, routing, exps, delta), nil, pollServed
+}
+
+// pollBypass is the contended-poll path: a hint-less snapshot round
+// merged on its own throwaway clones, never touching the merger or
+// the retained snapshots. It pays a full mine (the clones carry no
+// merged-poll cache) in exchange for not waiting on the in-flight
+// one. Counters still land in the session's cumulative cstats, so
+// every served poll is accounted exactly once regardless of path.
+func (s *StreamSession) pollBypass() (*ShardedResult, error, pollOutcome) {
+	snaps, err := s.runner.Snapshot(nil)
+	if err != nil {
+		if err != core.ErrNotStreaming {
+			return nil, err, pollServed
+		}
+		return nil, nil, pollWait
+	}
+	live := s.runner.LiveStats()
+	perRS := s.runner.LiveShardStats(nil)
+	rounds := s.runner.LiveCoordRounds()
+	routing := liveRoutingView(s.runner)
+	owned := make([]*explain.Streaming, 0, len(snaps))
+	s.pollMu.Lock()
+	for i, v := range snaps {
+		if f, ok := v.(core.ShardFailure); ok {
+			s.noteShardFailure(i, f)
+			continue
+		}
+		// No hints were sent, so every live shard answered with a
+		// fresh clone this poll owns outright.
+		owned = append(owned, v.(shardSnap).clone)
+	}
+	s.pollMu.Unlock()
+	exps := explain.MergeStreamingInto(owned)
+	var delta explain.CacheStats
+	if len(owned) > 0 {
+		delta = owned[0].CacheStats()
+	}
+	return s.liveResult(snaps, live, perRS, rounds, routing, exps, delta), nil, pollServed
+}
+
+// noteShardFailure records a quarantined shard observed by a snapshot
+// round and drops its retained snapshot: the merged signature count
+// changes, so the poll cache takes a full re-mine rather than serving
+// a stale hit. Caller holds pollMu.
+func (s *StreamSession) noteShardFailure(i int, f core.ShardFailure) {
+	if s.fails == nil {
+		s.fails = make(map[int]core.ShardFailure)
+	}
+	s.fails[i] = f
+	if i < len(s.have) {
+		s.snaps[i], s.have[i] = nil, false
+	}
+}
+
+// liveResult folds one poll's counter delta into the session's
+// cumulative cache stats and assembles the live ShardedResult both
+// poll paths return.
+func (s *StreamSession) liveResult(snaps []any, live core.RunStats, perRS []core.RunStats, rounds int, routing routingView, exps []core.Explanation, delta explain.CacheStats) *ShardedResult {
+	s.pollMu.Lock()
+	s.cstats.Add(delta)
+	cstats := s.cstats
+	var failList []core.ShardFailure
+	if len(s.fails) > 0 {
+		failList = make([]core.ShardFailure, 0, len(s.fails))
+		for i := range snaps {
+			if f, ok := s.fails[i]; ok {
+				failList = append(failList, f)
+			}
+		}
+	}
+	s.pollMu.Unlock()
+	// The live skew breakdown pairs worker load counters with
+	// the thresholds read at snapshot time. A teardown that
+	// raced between the snapshot round and LiveShardStats
+	// leaves the counters empty; the final result carries the
+	// authoritative breakdown, so this poll just omits it.
+	var breakdown *ShardBreakdown
+	if len(perRS) == len(snaps) {
+		per := make([]ShardStatus, len(snaps))
+		for i, v := range snaps {
+			st := ShardStatus{Points: perRS[i].Points, Outliers: perRS[i].Outliers, Threshold: math.NaN()}
+			if st.Points > 0 {
+				st.OutlierRate = float64(st.Outliers) / float64(st.Points)
+			}
+			if f, ok := v.(core.ShardFailure); ok {
+				st.Error, st.DroppedPoints = f.Err, f.DroppedPoints
+			} else if sn := v.(shardSnap); sn.hasThr {
+				st.Threshold, st.GlobalThreshold = sn.thr, sn.glob
+			}
+			per[i] = st
+		}
+		breakdown = newShardBreakdown(per, s.coord, rounds, routing)
+	}
+	return &ShardedResult{
+		Stats: core.StreamStats{
+			RunStats:      live,
+			CoordRounds:   rounds,
+			RoutingEpoch:  routing.epoch,
+			BucketMoves:   routing.moves,
+			Degraded:      len(failList) > 0,
+			ShardFailures: failList,
+		},
+		Explanations: exps,
+		Cache:        cstats,
+		Shards:       breakdown,
+		Degraded:     len(failList) > 0,
+	}
+}
+
 // retain records shard i's newest snapshot clone and signature for
-// future elision. Caller holds pollMu. Overlapping polls can reach
-// this out of order (snapshot rounds run outside pollMu), so an
-// incoming snapshot only replaces the retained one when it is at least
-// as new — tree epochs are monotonic within a shard's lineage — lest a
-// slow poll roll the retained state backwards and a later elided poll
-// serve explanations older than ones already published.
+// future elision. Caller holds mineMu and pollMu. An incoming snapshot
+// only replaces the retained one when it is at least as new — tree
+// epochs are monotonic within a shard's lineage — lest a stale round
+// roll the retained state backwards and a later elided poll serve
+// explanations older than ones already published.
 func (s *StreamSession) retain(i int, sig explain.Signature, sn *explain.Streaming) {
 	for len(s.snaps) <= i {
 		s.snaps = append(s.snaps, nil)

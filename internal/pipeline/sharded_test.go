@@ -229,6 +229,22 @@ func TestStreamSessionLifecycle(t *testing.T) {
 		}
 		sawPoints = res.Stats.Points
 	}
+	// On a multi-core box the three polls above can land before the
+	// first batch is even routed; wait for the stream to warm up so the
+	// final reconciliation below has real state to report.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		res, err := sess.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Explanations) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream produced no explanations before stop")
+		}
+	}
 	final, err := sess.Stop()
 	if err != nil {
 		t.Fatal(err)
